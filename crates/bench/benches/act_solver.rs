@@ -1,0 +1,59 @@
+//! E4: the ACT decision procedure — positive and negative instances.
+//!
+//! Measures the cost of: finding maps for solvable control tasks, refuting
+//! consensus by exhaustion at depths 0–2, and detecting the connectivity
+//! obstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gact::{act_solve, connectivity_obstruction, solve, MapProblem};
+use gact_chromatic::chr_iter;
+use gact_tasks::affine::full_subdivision_task;
+use gact_tasks::classic::consensus_task;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("act_solver");
+    group.sample_size(10);
+
+    // Positive: the full-subdivision control tasks.
+    for (n, depth) in [(1usize, 1usize), (1, 2), (2, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("solvable", format!("n{n}_k{depth}")),
+            &(n, depth),
+            |b, &(n, depth)| {
+                let at = full_subdivision_task(n, depth);
+                b.iter(|| {
+                    assert!(act_solve(&at.task, depth).is_solvable());
+                });
+            },
+        );
+    }
+
+    // Negative by exhaustion: raw solver on consensus.
+    for k in 0..=2usize {
+        group.bench_with_input(BenchmarkId::new("consensus_unsat", k), &k, |b, &k| {
+            let task = consensus_task(1, &[0, 1]);
+            let sd = chr_iter(&task.input, &task.input_geometry, k);
+            b.iter(|| {
+                let problem = MapProblem {
+                    domain: &sd.complex,
+                    vertex_carrier: &sd.vertex_carrier,
+                    task: &task,
+                };
+                assert!(!solve(&problem, None).is_solvable());
+            });
+        });
+    }
+
+    // Negative by obstruction: the depth-independent certificate.
+    group.bench_function("consensus_obstruction_n2", |b| {
+        let task = consensus_task(2, &[0, 1]);
+        b.iter(|| {
+            assert!(connectivity_obstruction(&task).is_some());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

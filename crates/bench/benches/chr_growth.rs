@@ -1,0 +1,41 @@
+//! E10: growth and cost of the standard chromatic subdivision `Chr^m`.
+//!
+//! Regenerates the facet-count law (#facets of `Chr^m` of an `n`-simplex
+//! is `fubini(n+1)^m`) and measures construction time vs `(n, m)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gact_chromatic::{chr_iter, fubini, standard_simplex};
+
+fn bench_chr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chr_growth");
+    group.sample_size(10);
+    for n in 1..=3usize {
+        for m in 1..=2usize {
+            // Facet-count law asserted before timing.
+            let (s, g) = standard_simplex(n);
+            let sd = chr_iter(&s, &g, m);
+            assert_eq!(
+                sd.complex.complex().count_of_dim(n) as u64,
+                fubini(n + 1).pow(m as u32),
+                "facet-count law violated at n={n}, m={m}"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), m),
+                &(n, m),
+                |b, &(n, m)| {
+                    let (s, g) = standard_simplex(n);
+                    b.iter(|| chr_iter(&s, &g, m));
+                },
+            );
+        }
+    }
+    // The deep case of the paper's showcase: Chr³ of a triangle.
+    group.bench_function("n2_m3", |b| {
+        let (s, g) = standard_simplex(2);
+        b.iter(|| chr_iter(&s, &g, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chr);
+criterion_main!(benches);

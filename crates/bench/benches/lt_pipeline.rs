@@ -1,0 +1,36 @@
+//! E8 / F3–F5: the Proposition 9.2 pipeline — building the `L_t`
+//! certificate (regions, terminating subdivision, radial projection,
+//! chromatic approximation) and running the extracted protocol over
+//! `t`-resilient runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gact::{build_lt_showcase, verify_protocol_on_runs};
+use gact_iis::{ProcessId, ProcessSet};
+use gact_models::{RunSampler, SamplerConfig};
+
+fn bench_lt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lt_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("build_showcase_2_stages", |b| {
+        b.iter(|| build_lt_showcase(2, 1, 2).expect("witness"))
+    });
+
+    group.bench_function("verify_20_runs", |b| {
+        let show = build_lt_showcase(2, 1, 2).expect("witness");
+        let mut sampler = RunSampler::new(3, 11, SamplerConfig { max_prefix: 1, max_cycle: 2 });
+        let fast: ProcessSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let runs: Vec<_> = (0..20)
+            .map(|_| sampler.sample_with_fast(fast, ProcessSet::empty()))
+            .collect();
+        b.iter(|| {
+            let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &runs, 12);
+            assert!(reports.iter().all(|r| r.violations.is_empty()));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lt);
+criterion_main!(benches);

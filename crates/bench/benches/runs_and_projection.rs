@@ -1,0 +1,58 @@
+//! E1–E3: run-space machinery — `minimal`/`fast` computation, the affine
+//! projection, the run metric, and the compactness (diagonal) argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gact_iis::Run;
+use gact_models::{affine_projection, enumerate_runs, RunSampler, SamplerConfig};
+
+fn bench_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runs");
+    group.sample_size(20);
+
+    // E3: minimal/fast over enumerated runs.
+    for n in 2..=4usize {
+        group.bench_with_input(BenchmarkId::new("fast_enumerated", n), &n, |b, &n| {
+            let runs = enumerate_runs(n, 0);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for r in &runs {
+                    acc += r.fast().len();
+                }
+                acc
+            });
+        });
+    }
+
+    // E2: affine projection on sampled runs.
+    group.bench_function("affine_projection_sampled", |b| {
+        let mut sampler = RunSampler::new(4, 17, SamplerConfig::default());
+        let runs: Vec<Run> = (0..50).map(|_| sampler.sample()).collect();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for r in &runs {
+                acc += affine_projection(r)[0];
+            }
+            acc
+        });
+    });
+
+    // E1: the run metric over a sample (the quantity behind Lemma 5.1).
+    group.bench_function("pairwise_distances_100", |b| {
+        let mut sampler = RunSampler::new(3, 5, SamplerConfig::default());
+        let runs: Vec<Run> = (0..100).map(|_| sampler.sample()).collect();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 0..runs.len() {
+                for j in i + 1..runs.len() {
+                    acc += runs[i].distance(&runs[j]);
+                }
+            }
+            acc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E9: the shared-memory substrate — Borowsky–Gafni immediate snapshot
+//! throughput and the SM→IIS forward simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gact_iis::{ProcessId, ProcessSet};
+use gact_shm::{run_is, simulate_iis, RandomScheduler, RoundRobin};
+
+fn bench_shm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shm");
+
+    for n in [3usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::new("is_round_robin", n), &n, |b, &n| {
+            let invocations: Vec<(ProcessId, u32)> =
+                (0..n as u8).map(|i| (ProcessId(i), i as u32)).collect();
+            b.iter(|| {
+                let mut sched = RoundRobin::default();
+                let obj = run_is(&invocations, &mut sched, n, 1_000_000);
+                assert!((0..n as u8).all(|i| obj.output(ProcessId(i)).is_some()));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("is_random", n), &n, |b, &n| {
+            let invocations: Vec<(ProcessId, u32)> =
+                (0..n as u8).map(|i| (ProcessId(i), i as u32)).collect();
+            b.iter(|| {
+                let mut sched = RandomScheduler::seeded(42);
+                run_is(&invocations, &mut sched, n, 1_000_000)
+            });
+        });
+    }
+
+    for layers in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("iis_over_shm_3procs", layers),
+            &layers,
+            |b, &layers| {
+                b.iter(|| {
+                    let mut sched = RandomScheduler::seeded(7);
+                    let sim =
+                        simulate_iis(3, ProcessSet::full(3), layers, &mut sched, 10_000_000);
+                    assert_eq!(sim.rounds.len(), layers);
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shm);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # gact-bench
+//!
+//! Benchmark harness for the GACT reproduction. The library crate is
+//! intentionally empty: the content lives in
+//!
+//! * `benches/` — Criterion benchmarks (`chr_growth`, `act_solver`,
+//!   `runs_and_projection`, `shm_is`, `lt_pipeline`), one per experiment
+//!   family of DESIGN.md §5;
+//! * `src/bin/experiments.rs` — the one-shot harness printing every
+//!   paper-vs-measured row recorded in EXPERIMENTS.md.

@@ -1,0 +1,167 @@
+//! Colors (process identifiers) and color sets.
+//!
+//! In the paper (§3.2) a chromatic complex carries a noncollapsing simplicial
+//! map `χ` to the standard `n`-simplex whose vertices are the *colors*
+//! `0, 1, …, n`. Colors double as process identifiers: the vertex of color
+//! `i` in an input/output simplex carries the value of process `p_i`.
+
+use std::fmt;
+
+/// A color, i.e. a process identifier `0 ≤ i ≤ n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Color(pub u8);
+
+impl fmt::Debug for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u8> for Color {
+    fn from(c: u8) -> Self {
+        Color(c)
+    }
+}
+
+/// A set of colors, as a 64-bit mask (at most 64 processes, far beyond the
+/// sizes any construction in the paper needs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ColorSet(u64);
+
+impl fmt::Debug for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl ColorSet {
+    /// The empty color set.
+    pub fn empty() -> Self {
+        ColorSet(0)
+    }
+
+    /// The full set `{0, …, n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ≥ 64`.
+    pub fn full(n: usize) -> Self {
+        assert!(n < 64, "at most 64 colors supported");
+        ColorSet(if n == 63 { u64::MAX } else { (1u64 << (n + 1)) - 1 })
+    }
+
+    /// Singleton set.
+    pub fn singleton(c: Color) -> Self {
+        ColorSet(1u64 << c.0)
+    }
+
+    /// Inserts a color.
+    pub fn insert(&mut self, c: Color) {
+        self.0 |= 1u64 << c.0;
+    }
+
+    /// Removes a color.
+    pub fn remove(&mut self, c: Color) {
+        self.0 &= !(1u64 << c.0);
+    }
+
+    /// Membership test.
+    pub fn contains(self, c: Color) -> bool {
+        self.0 >> c.0 & 1 == 1
+    }
+
+    /// Number of colors in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(self, other: ColorSet) -> ColorSet {
+        ColorSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: ColorSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the colors in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = Color> {
+        (0..64u8).filter(move |c| self.0 >> c & 1 == 1).map(Color)
+    }
+}
+
+impl FromIterator<Color> for ColorSet {
+    fn from_iter<I: IntoIterator<Item = Color>>(iter: I) -> Self {
+        let mut s = ColorSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_algebra() {
+        let mut s = ColorSet::empty();
+        assert!(s.is_empty());
+        s.insert(Color(0));
+        s.insert(Color(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Color(3)));
+        assert!(!s.contains(Color(1)));
+        s.remove(Color(3));
+        assert_eq!(s, ColorSet::singleton(Color(0)));
+    }
+
+    #[test]
+    fn full_and_subset() {
+        let full = ColorSet::full(2);
+        assert_eq!(full.len(), 3);
+        let s: ColorSet = [Color(0), Color(2)].into_iter().collect();
+        assert!(s.is_subset_of(full));
+        assert!(!full.is_subset_of(s));
+        assert_eq!(s.union(full), full);
+        assert_eq!(s.intersection(full), s);
+        assert_eq!(full.difference(s).len(), 1);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s: ColorSet = [Color(5), Color(1), Color(3)].into_iter().collect();
+        let v: Vec<u8> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+}

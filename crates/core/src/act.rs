@@ -1,0 +1,237 @@
+//! The Asynchronous Computability Theorem as recovered from GACT in the
+//! wait-free case (Corollary 7.1), as an executable decision procedure.
+//!
+//! `act_solve` searches for `k` and a chromatic map
+//! `η : Chr^k I → O` with `η(σ) ∈ Δ(carrier σ)`. Solvability is
+//! semi-decidable (task solvability is undecidable in general,
+//! Gafni–Koutsoupias), so the search is bounded by `max_depth` and the
+//! negative verdict is *"no map up to depth `max_depth`"* — except when the
+//! [`connectivity_obstruction`] applies, which rules out **every** depth:
+//! if some input simplex `ω` has `Δ(ω)` disconnected while two of its
+//! vertices have their `Δ` images pinned in different components, then any
+//! `η` would induce a walk across the connected `Chr^k ω` whose image
+//! cannot jump components. This is exactly the classical consensus
+//! impossibility argument, verified combinatorially.
+
+use gact_chromatic::{chr_iter, ChromaticSubdivision, SimplicialMap};
+use gact_tasks::Task;
+use gact_topology::{Simplex, VertexId};
+
+use crate::solver::{solve, MapProblem, SolveStats};
+
+/// Verdict of the bounded ACT search.
+#[derive(Debug)]
+pub enum ActVerdict {
+    /// Solvable: a map from `Chr^depth I` was found.
+    Solvable {
+        /// The subdivision depth `k`.
+        depth: usize,
+        /// The chromatic map `η : Chr^k I → O`.
+        map: SimplicialMap,
+        /// The subdivision it is defined on (with carriers).
+        subdivision: ChromaticSubdivision,
+        /// Solver statistics.
+        stats: SolveStats,
+    },
+    /// No map exists at any depth: a connectivity obstruction was found.
+    ImpossibleByObstruction(Obstruction),
+    /// No map up to the search bound (inconclusive beyond it).
+    NoMapUpTo(usize),
+}
+
+impl ActVerdict {
+    /// Whether the verdict is positive.
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, ActVerdict::Solvable { .. })
+    }
+}
+
+/// A depth-independent impossibility witness: an input simplex whose
+/// allowed-output complex is disconnected with pinned endpoints in
+/// different components.
+#[derive(Clone, Debug)]
+pub struct Obstruction {
+    /// The input simplex `ω` with disconnected `Δ(ω)`.
+    pub omega: Simplex,
+    /// An input vertex whose image component differs from `other`'s.
+    pub pinned: VertexId,
+    /// The other input vertex.
+    pub other: VertexId,
+}
+
+impl std::fmt::Display for Obstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Δ({:?}) is disconnected and separates Δ({:?}) from Δ({:?})",
+            self.omega, self.pinned, self.other
+        )
+    }
+}
+
+/// Searches for a connectivity obstruction (see module docs). Sound but
+/// not complete: `None` does not imply solvability.
+pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
+    for omega in task.input.complex().iter() {
+        if omega.dim() == 0 {
+            continue;
+        }
+        let allowed = task.allowed(omega);
+        if allowed.is_empty() {
+            continue;
+        }
+        let components = allowed.connected_components();
+        if components.len() < 2 {
+            continue;
+        }
+        // For every vertex u of ω, the set of components its Δ({u}) image
+        // touches (Δ({u}) ⊆ Δ(ω) by monotonicity).
+        let verts: Vec<VertexId> = omega.iter().collect();
+        let comp_sets: Vec<Option<usize>> = verts
+            .iter()
+            .map(|&u| {
+                let img = task.allowed(&Simplex::vertex(u));
+                if img.is_empty() {
+                    return None;
+                }
+                let vset = img.vertex_set();
+                let touched: Vec<usize> = components
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| vset.iter().any(|v| c.contains(v)))
+                    .map(|(i, _)| i)
+                    .collect();
+                // Pinned to exactly one component.
+                if touched.len() == 1 {
+                    Some(touched[0])
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for i in 0..verts.len() {
+            for j in i + 1..verts.len() {
+                if let (Some(a), Some(b)) = (comp_sets[i], comp_sets[j]) {
+                    if a != b {
+                        return Some(Obstruction {
+                            omega: omega.clone(),
+                            pinned: verts[i],
+                            other: verts[j],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Bounded ACT decision: tries depths `0, 1, …, max_depth` in order.
+pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
+    if let Some(obstruction) = connectivity_obstruction(task) {
+        return ActVerdict::ImpossibleByObstruction(obstruction);
+    }
+    for depth in 0..=max_depth {
+        let sd = chr_iter(&task.input, &task.input_geometry, depth);
+        let problem = MapProblem {
+            domain: &sd.complex,
+            vertex_carrier: &sd.vertex_carrier,
+            task,
+        };
+        if let crate::solver::SolveOutcome::Map(map, stats) = solve(&problem, None) {
+            return ActVerdict::Solvable {
+                depth,
+                map,
+                subdivision: sd,
+                stats,
+            };
+        }
+    }
+    ActVerdict::NoMapUpTo(max_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_tasks::affine::{full_subdivision_task, lt_task, total_order_task};
+    use gact_tasks::classic::{consensus_task, set_agreement_task};
+
+    #[test]
+    fn full_subdivision_tasks_solve_at_their_depth() {
+        for depth in 0..=2usize {
+            let at = full_subdivision_task(1, depth);
+            match act_solve(&at.task, 3) {
+                ActVerdict::Solvable { depth: d, .. } => {
+                    assert_eq!(d, depth, "Chr^{depth} task should solve at exactly {depth}")
+                }
+                v => panic!("expected solvable, got {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_subdivision_n2_depth1_solves() {
+        let at = full_subdivision_task(2, 1);
+        assert!(act_solve(&at.task, 1).is_solvable());
+    }
+
+    #[test]
+    fn consensus_obstructed_for_all_depths() {
+        for n in 1..=2usize {
+            let task = consensus_task(n, &[0, 1]);
+            match act_solve(&task, 4) {
+                ActVerdict::ImpossibleByObstruction(o) => {
+                    // The witness is a mixed-input simplex.
+                    assert!(o.omega.dim() >= 1);
+                }
+                v => panic!("consensus n={n} should be obstructed, got {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_set_agreement_three_values_not_obstructed_by_connectivity() {
+        // 2-set agreement for 3 processes is wait-free unsolvable, but not
+        // by the *connectivity* (dimension-0) obstruction — the classical
+        // proof needs the higher Sperner argument. Our bounded search must
+        // report NoMapUpTo, not a false obstruction.
+        let task = set_agreement_task(2, &[0, 1, 2], 2);
+        assert!(connectivity_obstruction(&task).is_none());
+        match act_solve(&task, 0) {
+            ActVerdict::NoMapUpTo(0) => {}
+            v => panic!("expected NoMapUpTo(0), got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn total_order_obstructed() {
+        // L_ord is wait-free unsolvable at *every* depth, and the
+        // connectivity obstruction certifies it: Δ(edge {a,b}) consists of
+        // two disjoint fragments (one per arrival order), with the corners
+        // pinned to different fragments.
+        let at = total_order_task(1);
+        match act_solve(&at.task, 3) {
+            ActVerdict::ImpossibleByObstruction(o) => {
+                assert_eq!(o.omega, gact_topology::Simplex::from_iter([0u32, 1]));
+            }
+            v => panic!("expected obstruction, got {v:?}"),
+        }
+        let at2 = total_order_task(2);
+        assert!(matches!(
+            act_solve(&at2.task, 0),
+            ActVerdict::ImpossibleByObstruction(_)
+        ));
+    }
+
+    #[test]
+    fn lt_task_not_wait_free_solvable_small_depths() {
+        // L_1 needs the t-resilient model; wait-free runs include solo
+        // ones whose Δ(vertex) is empty — the vertex domain becomes empty
+        // and the solver refutes immediately.
+        let at = lt_task(2, 1);
+        match act_solve(&at.task, 1) {
+            ActVerdict::NoMapUpTo(1) => {}
+            v => panic!("expected NoMapUpTo, got {v:?}"),
+        }
+    }
+}

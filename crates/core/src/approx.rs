@@ -1,0 +1,293 @@
+//! Simplicial approximation (paper §8), algorithmically.
+//!
+//! Theorem 8.1 made executable for finite complexes: given a continuous
+//! map `f : |A| → |B|` (supplied as a closure on points), subdivide `A`
+//! until the *star condition* holds — for every vertex `v` of the
+//! subdivision there is a vertex `w` of `B` with `f(st(v)) ⊆ st(w)` — and
+//! read off the simplicial approximation `φ(v) = w`. We check the star
+//! condition on the vertices of each simplex incident to `v` plus its
+//! barycentric samples, which is exact for the piecewise-affine maps used
+//! in this reproduction (and a standard sampling argument otherwise).
+//!
+//! The *chromatic* variant (Theorem 8.4) additionally requires
+//! `χ(φ(v)) = χ(v)`; when the color-matching star choice fails, the
+//! fallback is the carrier-constrained CSP of [`crate::solver`] — that is
+//! exactly how Proposition 9.1/9.2 are exercised in
+//! [`crate::lt::build_lt_showcase`], where link-connectivity of the target
+//! guarantees a solution.
+
+use std::collections::HashMap;
+
+use gact_chromatic::{chr, ChromaticComplex, SimplicialMap};
+use gact_topology::{ComplexLocator, Geometry, Point, Simplex, VertexId};
+
+/// The result of a successful approximation.
+#[derive(Debug)]
+pub struct Approximation {
+    /// The subdivision of `A` on which the approximation is simplicial.
+    pub domain: ChromaticComplex,
+    /// Geometry of the subdivision.
+    pub geometry: Geometry,
+    /// Carriers of subdivision vertices in the original `A`.
+    pub vertex_carrier: HashMap<VertexId, Simplex>,
+    /// The simplicial approximation `φ`.
+    pub map: SimplicialMap,
+    /// Number of chromatic subdivisions that were needed.
+    pub subdivisions: usize,
+}
+
+/// Whether every sample point of the closed star of `v` maps into the open
+/// star of some vertex `w` of `B`; returns a satisfying `w` (preferring a
+/// color match when `chromatic` is set).
+fn star_target(
+    v: VertexId,
+    a: &ChromaticComplex,
+    g: &Geometry,
+    b: &ChromaticComplex,
+    b_geometry: &Geometry,
+    b_locator: &ComplexLocator,
+    f: &dyn Fn(&[f64]) -> Point,
+    chromatic: bool,
+) -> Option<VertexId> {
+    // Sample the open star st(v): points whose carrier contains v — the
+    // vertex itself, barycenters of incident simplices, and midpoints from
+    // v towards the other vertices (all carried by simplices containing
+    // v). Far vertices of incident simplices are NOT in st(v) and must not
+    // be sampled.
+    let mut samples: Vec<Point> = vec![g.coord(v).clone()];
+    for s in a.complex().open_star(&Simplex::vertex(v)) {
+        samples.push(g.barycenter(&s));
+        for w in s.iter() {
+            if w == v {
+                continue;
+            }
+            let mid: Point = g
+                .coord(w)
+                .iter()
+                .zip(g.coord(v))
+                .map(|(x, y)| 0.5 * (x + y))
+                .collect();
+            samples.push(mid);
+        }
+    }
+    // For each sample, the set of B-vertices whose open star contains it:
+    // the vertices of the carrier simplex with positive barycentric
+    // coordinate. Intersect over samples.
+    let mut candidates: Option<Vec<VertexId>> = None;
+    for p in &samples {
+        let image = f(p);
+        let mut vertex_hits: Vec<VertexId> = Vec::new();
+        for (facet, lambda) in b_locator.containing(&image) {
+            for (w, &l) in facet.iter().zip(&lambda) {
+                if l > 1e-9 && !vertex_hits.contains(&w) {
+                    vertex_hits.push(w);
+                }
+            }
+        }
+        if vertex_hits.is_empty() {
+            return None; // image escaped |B|: cannot approximate
+        }
+        candidates = Some(match candidates {
+            None => vertex_hits,
+            Some(prev) => prev.into_iter().filter(|w| vertex_hits.contains(w)).collect(),
+        });
+        if candidates.as_ref().map(|c| c.is_empty()).unwrap_or(false) {
+            return None;
+        }
+    }
+    let mut cands = candidates.unwrap_or_default();
+    // Deterministic choice; prefer a color match for the chromatic variant.
+    cands.sort_by_key(|w| {
+        (
+            if chromatic && b.color(*w) != a.color(v) {
+                1
+            } else {
+                0
+            },
+            // Tie-break: closer to f(v).
+            (gact_topology::l1_distance(b_geometry.coord(*w), &f(g.coord(v))) * 1e9) as i64,
+            w.0,
+        )
+    });
+    let best = *cands.first()?;
+    if chromatic && b.color(best) != a.color(v) {
+        return None;
+    }
+    Some(best)
+}
+
+/// Computes a simplicial approximation `φ : Chr^m A → B` to `f`, chromatic
+/// when `chromatic` is set, subdividing up to `max_subdivisions` times
+/// (Theorem 8.1 / the finite case of Theorem 8.4).
+///
+/// Returns `None` when the star condition cannot be met within the bound
+/// (or, in the chromatic case, when color-matching star targets do not
+/// exist — then fall back to the CSP of [`crate::solver`]).
+pub fn simplicial_approximation(
+    a: &ChromaticComplex,
+    a_geometry: &Geometry,
+    b: &ChromaticComplex,
+    b_geometry: &Geometry,
+    f: &dyn Fn(&[f64]) -> Point,
+    chromatic: bool,
+    max_subdivisions: usize,
+) -> Option<Approximation> {
+    let b_locator = ComplexLocator::new(
+        b_geometry,
+        b.complex().facets().iter(),
+    );
+    let mut domain = a.clone();
+    let mut geometry = a_geometry.clone();
+    let mut vertex_carrier: HashMap<VertexId, Simplex> = a
+        .complex()
+        .vertex_set()
+        .into_iter()
+        .map(|v| (v, Simplex::vertex(v)))
+        .collect();
+    for round in 0..=max_subdivisions {
+        // Try to satisfy the star condition for every vertex.
+        let mut map = SimplicialMap::default();
+        let mut ok = true;
+        for v in domain.complex().vertex_set() {
+            match star_target(
+                v,
+                &domain,
+                &geometry,
+                b,
+                b_geometry,
+                &b_locator,
+                f,
+                chromatic,
+            ) {
+                Some(w) => map.insert(v, w),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && map.validate(domain.complex(), b.complex()).is_ok() {
+            if !chromatic || map.validate_chromatic(&domain, b).is_ok() {
+                return Some(Approximation {
+                    domain,
+                    geometry,
+                    vertex_carrier,
+                    map,
+                    subdivisions: round,
+                });
+            }
+        }
+        if round == max_subdivisions {
+            break;
+        }
+        // Subdivide (chromatically, per the paper's §8.2 remark that Chr
+        // can replace Bary) and compose carriers.
+        let sd = chr(&domain, &geometry);
+        let composed: HashMap<VertexId, Simplex> = sd
+            .vertex_carrier
+            .iter()
+            .map(|(v, mid)| {
+                let mut it = mid.iter();
+                let mut acc = vertex_carrier[&it.next().expect("non-empty")].clone();
+                for w in it {
+                    acc = acc.union(&vertex_carrier[&w]);
+                }
+                (*v, acc)
+            })
+            .collect();
+        domain = sd.complex;
+        geometry = sd.geometry;
+        vertex_carrier = composed;
+    }
+    None
+}
+
+/// Checks the defining property of a simplicial approximation on sample
+/// points: wherever `f(x) ∈ |σ|` for `σ ∈ B`, also `|φ|(x) ∈ |σ|`
+/// (paper §8.1). Sampling is at barycenters of the domain simplices.
+pub fn is_simplicial_approximation(
+    approx: &Approximation,
+    b: &ChromaticComplex,
+    b_geometry: &Geometry,
+    f: &dyn Fn(&[f64]) -> Point,
+) -> bool {
+    // |φ|(x) for x in a domain simplex: interpolate images barycentrically.
+    for s in approx.domain.complex().iter() {
+        let x = approx.geometry.barycenter(s);
+        let fx = f(&x);
+        let k = s.card() as f64;
+        let mut phix = vec![0.0; b_geometry.ambient_dim()];
+        for v in s.iter() {
+            let img = approx.map.apply(v);
+            for (acc, c) in phix.iter_mut().zip(b_geometry.coord(img)) {
+                *acc += c / k;
+            }
+        }
+        // Carrier of f(x) in B must contain |φ|(x).
+        if let Some(carrier) = b_geometry.carrier_of_point(&fx, b.complex()) {
+            if !b_geometry.point_in_simplex(&phix, &carrier) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_chromatic::standard_simplex;
+
+    #[test]
+    fn identity_map_approximated_immediately() {
+        let (s, g) = standard_simplex(2);
+        let f = |x: &[f64]| x.to_vec();
+        let approx =
+            simplicial_approximation(&s, &g, &s, &g, &f, true, 2).expect("identity approximates");
+        assert_eq!(approx.subdivisions, 0);
+        for v in s.complex().vertex_set() {
+            assert_eq!(approx.map.apply(v), v);
+        }
+        assert!(is_simplicial_approximation(&approx, &s, &g, &f));
+    }
+
+    #[test]
+    fn affine_shrink_to_center_needs_no_chromatic_match() {
+        // f contracts |s| halfway toward the barycenter: every point stays
+        // in the (single) top simplex, so the star condition holds after
+        // few subdivisions.
+        let (s, g) = standard_simplex(2);
+        let f = |x: &[f64]| -> Point {
+            x.iter().map(|c| 0.5 * c + 0.5 / 3.0).collect()
+        };
+        let approx = simplicial_approximation(&s, &g, &s, &g, &f, false, 3)
+            .expect("contraction approximates");
+        assert!(is_simplicial_approximation(&approx, &s, &g, &f));
+    }
+
+    #[test]
+    fn edge_collapse_cannot_be_chromatic() {
+        // f collapses the whole edge complex onto vertex 0: a simplicial
+        // approximation exists but can never be chromatic (noncollapsing).
+        let (s, g) = standard_simplex(1);
+        let corner = g.coord(gact_topology::VertexId(0)).clone();
+        let f = move |_x: &[f64]| corner.clone();
+        let plain = simplicial_approximation(&s, &g, &s, &g, &f, false, 2);
+        assert!(plain.is_some());
+        let chromatic = simplicial_approximation(&s, &g, &s, &g, &f, true, 2);
+        assert!(chromatic.is_none());
+    }
+
+    #[test]
+    fn rotation_of_edge_requires_subdivision() {
+        // f maps the edge onto itself reversing orientation; vertices swap,
+        // so a chromatic approximation is impossible (colors must be
+        // preserved), but a plain one exists after subdividing.
+        let (s, g) = standard_simplex(1);
+        let f = |x: &[f64]| -> Point { vec![x[1], x[0]] };
+        let plain = simplicial_approximation(&s, &g, &s, &g, &f, false, 3)
+            .expect("reversal approximates non-chromatically");
+        assert!(is_simplicial_approximation(&plain, &s, &g, &f));
+        assert!(simplicial_approximation(&s, &g, &s, &g, &f, true, 2).is_none());
+    }
+}

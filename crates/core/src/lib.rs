@@ -1,0 +1,23 @@
+//! # gact
+//!
+//! Core library of the reproduction of *"A Generalized Asynchronous
+//! Computability Theorem"* (Gafni, Kuznetsov, Manolescu; PODC 2014).
+//!
+//! * [`solver`] — carrier-constrained chromatic-map existence (the finite
+//!   decision procedure both ACT and GACT checks reduce to).
+
+pub mod act;
+pub mod approx;
+pub mod gact;
+pub mod lt;
+pub mod protocol;
+pub mod render;
+pub mod solver;
+
+pub use act::{act_solve, connectivity_obstruction, ActVerdict, Obstruction};
+pub use approx::{is_simplicial_approximation, simplicial_approximation, Approximation};
+pub use gact::{certificate_from_act_map, run_positions, GactCertificate};
+pub use lt::{build_lt_showcase, radial_projection, LtShowcase};
+pub use render::Scene;
+pub use protocol::{verify_protocol_on_runs, CertificateProtocol, RunVerification};
+pub use solver::{solve, validate_solution, MapProblem, SolveOutcome, SolveStats};

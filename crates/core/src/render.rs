@@ -1,0 +1,195 @@
+//! SVG rendering of 2-dimensional chromatic complexes — regenerates the
+//! paper's figures (the `σ_α` simplices of §4.2, the terminated-edge
+//! subdivision of §6.1, the `L_1` complex and its region decomposition of
+//! §9.2) as actual images.
+//!
+//! Barycentric coordinates `(x_0, x_1, x_2)` are drawn in the standard
+//! triangle with corners `(0,0)`, `(1,0)`, `(1/2, √3/2)` (y flipped for
+//! screen coordinates).
+
+use std::fmt::Write as _;
+
+use gact_chromatic::ChromaticComplex;
+use gact_topology::{Complex, Geometry, Simplex};
+
+/// Palette for process colors 0, 1, 2, … .
+const PALETTE: [&str; 6] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
+
+/// Canvas size in pixels.
+const SIZE: f64 = 720.0;
+/// Margin in pixels.
+const MARGIN: f64 = 40.0;
+
+/// Projects barycentric coordinates to 2D screen coordinates.
+pub fn project(bary: &[f64]) -> (f64, f64) {
+    assert!(bary.len() >= 3, "rendering needs 3 barycentric coordinates");
+    let x = bary[1] + 0.5 * bary[2];
+    let y = (3.0f64).sqrt() / 2.0 * bary[2];
+    let scale = SIZE - 2.0 * MARGIN;
+    (
+        MARGIN + x * scale,
+        SIZE - MARGIN - y * scale, // flip y for SVG
+    )
+}
+
+/// A renderable layer: a set of simplices with a fill style.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Facets (triangles and/or edges) to draw.
+    pub simplices: Vec<Simplex>,
+    /// CSS fill for triangles.
+    pub fill: String,
+    /// CSS stroke for boundaries.
+    pub stroke: String,
+    /// Fill opacity.
+    pub opacity: f64,
+}
+
+/// An SVG scene over one geometry.
+#[derive(Debug)]
+pub struct Scene<'a> {
+    geometry: &'a Geometry,
+    layers: Vec<Layer>,
+    vertices_of: Option<&'a ChromaticComplex>,
+    title: String,
+}
+
+impl<'a> Scene<'a> {
+    /// Creates a scene using vertex coordinates from `geometry`.
+    pub fn new(geometry: &'a Geometry, title: &str) -> Self {
+        Scene {
+            geometry,
+            layers: Vec::new(),
+            vertices_of: None,
+            title: title.to_string(),
+        }
+    }
+
+    /// Adds a filled layer of simplices.
+    pub fn layer(&mut self, complex: &Complex, fill: &str, stroke: &str, opacity: f64) -> &mut Self {
+        let dim = complex.dim().unwrap_or(0).min(2);
+        self.layers.push(Layer {
+            simplices: complex.iter_dim(dim).cloned().collect(),
+            fill: fill.to_string(),
+            stroke: stroke.to_string(),
+            opacity,
+        });
+        self
+    }
+
+    /// Draws colored vertex dots for the given chromatic complex.
+    pub fn vertices(&mut self, c: &'a ChromaticComplex) -> &mut Self {
+        self.vertices_of = Some(c);
+        self
+    }
+
+    /// Renders the scene to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{SIZE}" height="{SIZE}" viewBox="0 0 {SIZE} {SIZE}">"#
+        );
+        let _ = write!(
+            out,
+            r#"<rect width="100%" height="100%" fill="white"/><text x="{MARGIN}" y="24" font-family="monospace" font-size="16">{}</text>"#,
+            self.title
+        );
+        for layer in &self.layers {
+            for s in &layer.simplices {
+                let pts: Vec<(f64, f64)> = s
+                    .iter()
+                    .map(|v| project(self.geometry.coord(v)))
+                    .collect();
+                match pts.len() {
+                    1 => {
+                        let _ = write!(
+                            out,
+                            r#"<circle cx="{:.2}" cy="{:.2}" r="4" fill="{}"/>"#,
+                            pts[0].0, pts[0].1, layer.fill
+                        );
+                    }
+                    2 => {
+                        let _ = write!(
+                            out,
+                            r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="2.5" opacity="{}"/>"#,
+                            pts[0].0, pts[0].1, pts[1].0, pts[1].1, layer.stroke, layer.opacity
+                        );
+                    }
+                    _ => {
+                        let path: Vec<String> =
+                            pts.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+                        let _ = write!(
+                            out,
+                            r#"<polygon points="{}" fill="{}" stroke="{}" stroke-width="1" fill-opacity="{}"/>"#,
+                            path.join(" "),
+                            layer.fill,
+                            layer.stroke,
+                            layer.opacity
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(c) = self.vertices_of {
+            for v in c.complex().vertex_set() {
+                let (x, y) = project(self.geometry.coord(v));
+                let color = PALETTE[c.color(v).0 as usize % PALETTE.len()];
+                let _ = write!(
+                    out,
+                    r#"<circle cx="{x:.2}" cy="{y:.2}" r="5" fill="{color}" stroke="black" stroke-width="0.8"/>"#
+                );
+            }
+        }
+        out.push_str("</svg>");
+        out
+    }
+
+    /// Writes the SVG to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+/// Band palette for the region decomposition figure.
+pub fn band_fill(band: usize) -> &'static str {
+    const BANDS: [&str; 5] = ["#c6dbef", "#9ecae1", "#6baed6", "#3182bd", "#08519c"];
+    BANDS[band % BANDS.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_chromatic::{chr, standard_simplex};
+
+    #[test]
+    fn projection_maps_corners_to_canvas_corners() {
+        let (x0, y0) = project(&[1.0, 0.0, 0.0]);
+        assert!((x0 - MARGIN).abs() < 1e-9);
+        assert!((y0 - (SIZE - MARGIN)).abs() < 1e-9);
+        let (x1, _) = project(&[0.0, 1.0, 0.0]);
+        assert!((x1 - (SIZE - MARGIN)).abs() < 1e-9);
+        let (_, y2) = project(&[0.0, 0.0, 1.0]);
+        assert!(y2 < SIZE / 2.0);
+    }
+
+    #[test]
+    fn svg_contains_all_facets() {
+        let (s, g) = standard_simplex(2);
+        let sd = chr(&s, &g);
+        let mut scene = Scene::new(&sd.geometry, "Chr(s)");
+        scene.layer(sd.complex.complex(), "#eeeeee", "#333333", 0.9);
+        scene.vertices(&sd.complex);
+        let svg = scene.to_svg();
+        assert_eq!(svg.matches("<polygon").count(), 13);
+        assert_eq!(svg.matches("<circle").count(), 12);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+}

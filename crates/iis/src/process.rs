@@ -1,0 +1,208 @@
+//! Process identifiers and process sets for the IIS model (paper §2.1).
+//!
+//! Processes `p_0, …, p_n` are identified with the colors of the chromatic
+//! machinery: `ProcessId(i)` corresponds to `Color(i)`.
+
+use std::fmt;
+
+use gact_chromatic::{Color, ColorSet};
+
+/// A process identifier `p_i`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u8);
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for Color {
+    fn from(p: ProcessId) -> Color {
+        Color(p.0)
+    }
+}
+
+impl From<Color> for ProcessId {
+    fn from(c: Color) -> ProcessId {
+        ProcessId(c.0)
+    }
+}
+
+/// A set of processes, as a 64-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ProcessSet(pub u64);
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", p.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl ProcessSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ProcessSet(0)
+    }
+
+    /// The full set `{p_0, …, p_n}` for `n + 1 = count` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn full(count: usize) -> Self {
+        assert!(count <= 64, "at most 64 processes supported");
+        ProcessSet(if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        })
+    }
+
+    /// Singleton set.
+    pub fn singleton(p: ProcessId) -> Self {
+        ProcessSet(1u64 << p.0)
+    }
+
+    /// Inserts a process.
+    pub fn insert(&mut self, p: ProcessId) {
+        self.0 |= 1u64 << p.0;
+    }
+
+    /// Removes a process.
+    pub fn remove(&mut self, p: ProcessId) {
+        self.0 &= !(1u64 << p.0);
+    }
+
+    /// Membership test.
+    pub fn contains(self, p: ProcessId) -> bool {
+        self.0 >> p.0 & 1 == 1
+    }
+
+    /// Cardinality.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    pub fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = ProcessId> {
+        (0..64u8)
+            .filter(move |i| self.0 >> i & 1 == 1)
+            .map(ProcessId)
+    }
+
+    /// All non-empty subsets of this set (2^len − 1 of them).
+    pub fn nonempty_subsets(self) -> Vec<ProcessSet> {
+        let members: Vec<ProcessId> = self.iter().collect();
+        assert!(members.len() <= 20, "subset enumeration limited to 20");
+        let mut out = Vec::with_capacity((1 << members.len()) - 1);
+        for mask in 1u32..(1u32 << members.len()) {
+            let mut s = ProcessSet::empty();
+            for (i, p) in members.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(*p);
+                }
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// Conversion to a chromatic color set.
+    pub fn to_colors(self) -> ColorSet {
+        self.iter().map(Color::from).collect()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl From<ColorSet> for ProcessSet {
+    fn from(cs: ColorSet) -> Self {
+        cs.iter().map(ProcessId::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut s = ProcessSet::empty();
+        s.insert(ProcessId(0));
+        s.insert(ProcessId(2));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ProcessId(2)));
+        assert!(s.is_subset_of(ProcessSet::full(3)));
+        assert_eq!(
+            s.union(ProcessSet::singleton(ProcessId(1))),
+            ProcessSet::full(3)
+        );
+        assert_eq!(
+            ProcessSet::full(3).difference(s),
+            ProcessSet::singleton(ProcessId(1))
+        );
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = ProcessSet::full(3);
+        let subs = s.nonempty_subsets();
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&ProcessSet::singleton(ProcessId(1))));
+        assert!(subs.contains(&s));
+    }
+
+    #[test]
+    fn color_roundtrip() {
+        let s: ProcessSet = [ProcessId(0), ProcessId(3)].into_iter().collect();
+        let cs = s.to_colors();
+        assert_eq!(ProcessSet::from(cs), s);
+    }
+}

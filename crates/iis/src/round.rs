@@ -1,0 +1,270 @@
+//! Rounds of the IIS model: ordered partitions of a participant set
+//! (paper §2.1).
+//!
+//! A round is one immediate-snapshot schedule: the participant set `S_k`
+//! together with an ordered partition `S_k = S_k^1 ∪ … ∪ S_k^{n_k}` into
+//! concurrency classes. Processes in block `j` "see" exactly the processes
+//! of blocks `1..=j`.
+
+use std::fmt;
+
+use crate::process::{ProcessId, ProcessSet};
+
+/// Error raised by [`Round::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoundError {
+    /// A block was empty.
+    EmptyBlock,
+    /// Two blocks share a process.
+    Overlap(ProcessId),
+    /// No blocks at all.
+    NoBlocks,
+}
+
+impl fmt::Display for RoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundError::EmptyBlock => write!(f, "ordered partition contains an empty block"),
+            RoundError::Overlap(p) => write!(f, "process {p} appears in two blocks"),
+            RoundError::NoBlocks => write!(f, "a round must have at least one block"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+/// One IIS round: an ordered partition of its participant set.
+///
+/// ```
+/// use gact_iis::{ProcessId, ProcessSet, Round};
+/// // p0 first, then p1 and p2 concurrently.
+/// let r = Round::from_blocks([
+///     vec![ProcessId(0)],
+///     vec![ProcessId(1), ProcessId(2)],
+/// ]).unwrap();
+/// assert_eq!(r.seen_by(ProcessId(0)), ProcessSet::singleton(ProcessId(0)));
+/// assert_eq!(r.seen_by(ProcessId(2)).len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Round {
+    blocks: Vec<ProcessSet>,
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, "|")?;
+            }
+            let mut first = true;
+            for p in b.iter() {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", p.0)?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl Round {
+    /// Builds a round from ordered blocks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty partitions, empty blocks and overlapping blocks.
+    pub fn new<I: IntoIterator<Item = ProcessSet>>(blocks: I) -> Result<Self, RoundError> {
+        let blocks: Vec<ProcessSet> = blocks.into_iter().collect();
+        if blocks.is_empty() {
+            return Err(RoundError::NoBlocks);
+        }
+        let mut seen = ProcessSet::empty();
+        for b in &blocks {
+            if b.is_empty() {
+                return Err(RoundError::EmptyBlock);
+            }
+            if let Some(p) = b.iter().find(|p| seen.contains(*p)) {
+                return Err(RoundError::Overlap(p));
+            }
+            seen = seen.union(*b);
+        }
+        Ok(Round { blocks })
+    }
+
+    /// Builds a round from blocks given as process lists.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Round::new`].
+    pub fn from_blocks<I, B>(blocks: I) -> Result<Self, RoundError>
+    where
+        I: IntoIterator<Item = B>,
+        B: IntoIterator<Item = ProcessId>,
+    {
+        Round::new(
+            blocks
+                .into_iter()
+                .map(|b| b.into_iter().collect::<ProcessSet>()),
+        )
+    }
+
+    /// The round in which every process of `set` runs in one concurrency
+    /// class (a "fair" round: everyone sees everyone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn single_block(set: ProcessSet) -> Self {
+        assert!(!set.is_empty(), "round participants must be non-empty");
+        Round { blocks: vec![set] }
+    }
+
+    /// The solo round of one process.
+    pub fn solo(p: ProcessId) -> Self {
+        Round::single_block(ProcessSet::singleton(p))
+    }
+
+    /// The ordered blocks.
+    pub fn blocks(&self) -> &[ProcessSet] {
+        &self.blocks
+    }
+
+    /// All participants `S_k` of the round.
+    pub fn participants(&self) -> ProcessSet {
+        self.blocks
+            .iter()
+            .fold(ProcessSet::empty(), |acc, b| acc.union(*b))
+    }
+
+    /// Whether `p` takes a step in this round.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.participants().contains(p)
+    }
+
+    /// Index of the block containing `p`, if any.
+    pub fn block_of(&self, p: ProcessId) -> Option<usize> {
+        self.blocks.iter().position(|b| b.contains(p))
+    }
+
+    /// The set of processes `p` sees in this round's immediate snapshot:
+    /// the union of blocks `1..=j` where `p ∈ S^j`. Empty set if `p` does
+    /// not participate.
+    pub fn seen_by(&self, p: ProcessId) -> ProcessSet {
+        let Some(j) = self.block_of(p) else {
+            return ProcessSet::empty();
+        };
+        self.blocks[..=j]
+            .iter()
+            .fold(ProcessSet::empty(), |acc, b| acc.union(*b))
+    }
+
+    /// Restricts the round to `keep`, dropping empty blocks. Returns `None`
+    /// when nothing remains.
+    pub fn restrict(&self, keep: ProcessSet) -> Option<Round> {
+        let blocks: Vec<ProcessSet> = self
+            .blocks
+            .iter()
+            .map(|b| b.intersection(keep))
+            .filter(|b| !b.is_empty())
+            .collect();
+        if blocks.is_empty() {
+            None
+        } else {
+            Some(Round { blocks })
+        }
+    }
+
+    /// Enumerates every round (ordered partition) over exactly the given
+    /// participant set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty or larger than 16 processes.
+    pub fn enumerate(set: ProcessSet) -> Vec<Round> {
+        assert!(!set.is_empty(), "round participants must be non-empty");
+        let members: Vec<ProcessId> = set.iter().collect();
+        gact_chromatic::ordered_partitions(&members)
+            .into_iter()
+            .map(|blocks| {
+                Round::from_blocks(blocks).expect("enumerated partitions are valid rounds")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pset(ids: &[u8]) -> ProcessSet {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        assert_eq!(Round::new([]), Err(RoundError::NoBlocks));
+        assert_eq!(
+            Round::new([ProcessSet::empty()]),
+            Err(RoundError::EmptyBlock)
+        );
+        assert_eq!(
+            Round::new([pset(&[0, 1]), pset(&[1])]),
+            Err(RoundError::Overlap(ProcessId(1)))
+        );
+        assert!(Round::new([pset(&[0]), pset(&[1, 2])]).is_ok());
+    }
+
+    #[test]
+    fn seen_sets_are_nested_along_blocks() {
+        let r = Round::from_blocks([vec![ProcessId(1)], vec![ProcessId(0), ProcessId(2)]]).unwrap();
+        assert_eq!(r.seen_by(ProcessId(1)), pset(&[1]));
+        assert_eq!(r.seen_by(ProcessId(0)), pset(&[0, 1, 2]));
+        assert_eq!(r.seen_by(ProcessId(2)), pset(&[0, 1, 2]));
+        assert_eq!(r.seen_by(ProcessId(3)), ProcessSet::empty());
+        // IS containment: seen sets of any two processes are comparable.
+        let a = r.seen_by(ProcessId(1));
+        let b = r.seen_by(ProcessId(0));
+        assert!(a.is_subset_of(b) || b.is_subset_of(a));
+    }
+
+    #[test]
+    fn self_inclusion() {
+        for r in Round::enumerate(pset(&[0, 1, 2])) {
+            for p in r.participants().iter() {
+                assert!(r.seen_by(p).contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn immediacy_property() {
+        // IS immediacy: if q ∈ seen(p) then seen(q) ⊆ seen(p).
+        for r in Round::enumerate(pset(&[0, 1, 2])) {
+            for p in r.participants().iter() {
+                for q in r.seen_by(p).iter() {
+                    assert!(r.seen_by(q).is_subset_of(r.seen_by(p)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_match_fubini() {
+        assert_eq!(Round::enumerate(pset(&[0])).len(), 1);
+        assert_eq!(Round::enumerate(pset(&[0, 1])).len(), 3);
+        assert_eq!(Round::enumerate(pset(&[0, 1, 2])).len(), 13);
+        assert_eq!(Round::enumerate(pset(&[0, 1, 2, 3])).len(), 75);
+    }
+
+    #[test]
+    fn restriction() {
+        let r = Round::from_blocks([vec![ProcessId(0)], vec![ProcessId(1), ProcessId(2)]]).unwrap();
+        let rr = r.restrict(pset(&[1, 2])).unwrap();
+        assert_eq!(rr.blocks().len(), 1);
+        assert_eq!(rr.participants(), pset(&[1, 2]));
+        assert!(r.restrict(pset(&[5])).is_none());
+    }
+}

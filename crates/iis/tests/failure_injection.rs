@@ -1,0 +1,148 @@
+//! Failure injection for the IIS executor: crashes at every point of a
+//! schedule, late joiners rejected, decision-stability enforcement, and
+//! schedule-validation panics.
+
+use std::collections::HashMap;
+
+use gact_iis::view::{ViewArena, ViewId, ViewNode};
+use gact_iis::{
+    enumerate_schedules, execute, InputAssignment, ProcessId, ProcessSet, Protocol, Round,
+    StepContext,
+};
+
+/// Decides the set of processes ever heard of, after `after` rounds.
+struct HeardOf {
+    after: usize,
+}
+
+fn heard(arena: &ViewArena, view: ViewId, acc: &mut ProcessSet) {
+    match arena.node(view) {
+        ViewNode::Input { pid, .. } => acc.insert(*pid),
+        ViewNode::Snap(entries) => {
+            for (q, sub) in entries {
+                acc.insert(*q);
+                heard(arena, *sub, acc);
+            }
+        }
+    }
+}
+
+impl Protocol for HeardOf {
+    type Output = ProcessSet;
+    fn decide(&self, ctx: &StepContext<'_>) -> Option<ProcessSet> {
+        if ctx.round < self.after {
+            return None;
+        }
+        // Freeze the decision: report the set heard of by round `after`
+        // (reconstructed by unwinding own history to that round).
+        let mut view = ctx.view;
+        for _ in self.after..ctx.round {
+            let ViewNode::Snap(entries) = ctx.arena.node(view) else {
+                unreachable!("rounds ≥ 1 have snapshot views");
+            };
+            view = entries
+                .iter()
+                .find(|(q, _)| *q == ctx.pid)
+                .map(|&(_, v)| v)
+                .expect("self-inclusion");
+        }
+        let mut acc = ProcessSet::empty();
+        heard(ctx.arena, view, &mut acc);
+        Some(acc)
+    }
+}
+
+#[test]
+fn crash_at_every_point_keeps_survivors_consistent() {
+    // For every 2-round schedule shape of 3 processes, survivors' decided
+    // "heard-of" sets are monotone along the seen-relation and decisions
+    // stay stable (no executor violations).
+    let input = InputAssignment::standard_corners(2);
+    for schedule in enumerate_schedules(ProcessSet::full(3), 2) {
+        let exec = execute(&HeardOf { after: 2 }, &input, schedule.clone(), 6);
+        assert!(
+            exec.violations.is_empty(),
+            "instability under {schedule:?}: {:?}",
+            exec.violations
+        );
+        // Survivors of round 2 decide; crashed processes don't.
+        let last_parts = schedule[1].participants();
+        for p in last_parts.iter() {
+            assert!(exec.outputs.contains_key(&p), "{p} should decide");
+        }
+        for p in ProcessSet::full(3).difference(last_parts).iter() {
+            assert!(!exec.outputs.contains_key(&p), "{p} crashed but decided");
+        }
+        // Self-inclusion of the heard-of sets.
+        for (p, d) in &exec.outputs {
+            assert!(d.value.contains(*p));
+        }
+    }
+}
+
+#[test]
+fn decisions_persist_across_extra_rounds() {
+    // Run the same protocol for extra rounds: decisions must not change
+    // (the executor flags any deviation as a violation).
+    let input = InputAssignment::standard_corners(2);
+    let base = vec![
+        Round::from_blocks([vec![ProcessId(1)], vec![ProcessId(0), ProcessId(2)]]).unwrap(),
+        Round::from_blocks([vec![ProcessId(0), ProcessId(1), ProcessId(2)]]).unwrap(),
+    ];
+    let short = execute(&HeardOf { after: 2 }, &input, base.clone(), 2);
+    let mut long_schedule = base;
+    for _ in 0..4 {
+        long_schedule
+            .push(Round::from_blocks([vec![ProcessId(0), ProcessId(1), ProcessId(2)]]).unwrap());
+    }
+    let long = execute(&HeardOf { after: 2 }, &input, long_schedule, 10);
+    assert!(long.violations.is_empty());
+    for (p, d) in &short.outputs {
+        assert_eq!(long.outputs[p].value, d.value);
+        assert_eq!(long.outputs[p].round, d.round);
+    }
+}
+
+#[test]
+fn all_crash_patterns_of_three_rounds_run_clean() {
+    // Deeper nesting with drop-outs at arbitrary points: the executor
+    // itself must never report violations for a well-formed protocol.
+    let input = InputAssignment::standard_corners(1);
+    for schedule in enumerate_schedules(ProcessSet::full(2), 3) {
+        let exec = execute(&HeardOf { after: 1 }, &input, schedule.clone(), 6);
+        assert!(exec.violations.is_empty(), "{schedule:?}");
+        // Whoever participated in round 1 decided at round 1.
+        for p in schedule[0].participants().iter() {
+            assert_eq!(exec.outputs[&p].round, 1);
+        }
+    }
+}
+
+#[test]
+fn outputs_only_grow_with_information() {
+    // If p's round-k snapshot is contained in q's, p's heard-of set is a
+    // subset of q's (information monotonicity along the block order).
+    let input = InputAssignment::standard_corners(2);
+    let r = Round::from_blocks([
+        vec![ProcessId(2)],
+        vec![ProcessId(0)],
+        vec![ProcessId(1)],
+    ])
+    .unwrap();
+    let exec = execute(&HeardOf { after: 1 }, &input, vec![r.clone()], 2);
+    let by: HashMap<ProcessId, ProcessSet> = exec
+        .outputs
+        .iter()
+        .map(|(p, d)| (*p, d.value))
+        .collect();
+    assert!(by[&ProcessId(2)].is_subset_of(by[&ProcessId(0)]));
+    assert!(by[&ProcessId(0)].is_subset_of(by[&ProcessId(1)]));
+}
+
+#[test]
+#[should_panic(expected = "participants lack inputs")]
+fn unknown_participant_panics() {
+    let input = InputAssignment::standard_corners(1); // p0, p1 only
+    let schedule = vec![Round::solo(ProcessId(5))];
+    let _ = execute(&HeardOf { after: 1 }, &input, schedule, 2);
+}

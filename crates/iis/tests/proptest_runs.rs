@@ -1,0 +1,160 @@
+//! Property-based tests for IIS runs: `minimal`/`fast` laws, the extension
+//! order, the run metric, and the view/executor machinery under random
+//! schedules.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use gact_iis::view::{run_views, ViewArena};
+use gact_iis::{ProcessId, ProcessSet, Round, Run};
+
+/// Strategy: an ordered partition (round) over a given non-empty
+/// participant set, encoded as a shuffled assignment of block indices.
+fn arb_round(participants: Vec<u8>) -> impl Strategy<Value = Round> {
+    let n = participants.len();
+    proptest::collection::vec(0usize..n.max(1), n).prop_map(move |block_idx| {
+        // Normalize block indices into consecutive blocks.
+        let mut blocks: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+        for (p, &b) in participants.iter().zip(&block_idx) {
+            blocks[b.min(n - 1)].push(ProcessId(*p));
+        }
+        let blocks: Vec<Vec<ProcessId>> = blocks.into_iter().filter(|b| !b.is_empty()).collect();
+        Round::from_blocks(blocks).expect("constructed partition is valid")
+    })
+}
+
+/// Strategy: an ultimately periodic run over `n_procs` processes with a
+/// random nested chain and random rounds.
+fn arb_run(n_procs: usize) -> impl Strategy<Value = Run> {
+    let full: Vec<u8> = (0..n_procs as u8).collect();
+    (
+        proptest::collection::btree_set(proptest::sample::select(full.clone()), 1..=n_procs),
+        0usize..=2,
+    )
+        .prop_flat_map(move |(inf, prefix_len)| {
+            let inf: Vec<u8> = inf.into_iter().collect();
+            let fullv: Vec<u8> = (0..n_procs as u8).collect();
+            let prefix = proptest::collection::vec(arb_round(fullv), prefix_len);
+            let cycle = proptest::collection::vec(arb_round(inf), 1..=2);
+            (prefix, cycle).prop_map(move |(prefix, cycle)| {
+                Run::new(n_procs, prefix, cycle).expect("nested by construction")
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn minimal_laws(r in arb_run(3)) {
+        let m = r.minimal();
+        // minimal(r) ≤ r.
+        prop_assert!(m.is_extended_by(&r));
+        // Idempotence.
+        prop_assert!(m.same_run(&m.minimal()));
+        // fast is preserved and equals ∞-part of the minimal run.
+        prop_assert_eq!(r.fast(), m.fast());
+        prop_assert_eq!(r.fast(), m.inf_part());
+        // fast ⊆ ∞-part ⊆ part, all non-empty.
+        prop_assert!(!r.fast().is_empty());
+        prop_assert!(r.fast().is_subset_of(r.inf_part()));
+        prop_assert!(r.inf_part().is_subset_of(r.part()));
+    }
+
+    #[test]
+    fn extension_is_a_partial_order_sample(a in arb_run(3), b in arb_run(3)) {
+        // Reflexivity.
+        prop_assert!(a.is_extended_by(&a));
+        // Antisymmetry on the sample.
+        if a.is_extended_by(&b) && b.is_extended_by(&a) {
+            prop_assert!(a.same_run(&b));
+        }
+    }
+
+    #[test]
+    fn metric_axioms(a in arb_run(3), b in arb_run(3), c in arb_run(3)) {
+        let dab = a.distance(&b);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(dab == 0.0, a.same_run(&b));
+        prop_assert_eq!(dab, b.distance(&a));
+        // Ultrametric triangle inequality (the metric is 1/(1+k) on a
+        // tree of prefixes): d(a,c) ≤ max(d(a,b), d(b,c)).
+        let dac = a.distance(&c);
+        let dbc = b.distance(&c);
+        prop_assert!(dac <= dab.max(dbc) + 1e-12);
+    }
+
+    #[test]
+    fn views_respect_information_flow(r in arb_run(3)) {
+        // If q is never seen by p in the first K rounds, p's view cannot
+        // contain q's input.
+        if !r.part().contains(ProcessId(0)) {
+            return Ok(());
+        }
+        let k = 4usize;
+        let rounds = r.rounds_prefix(k);
+        let inputs: HashMap<ProcessId, u32> =
+            r.part().iter().map(|p| (p, p.0 as u32)).collect();
+        let mut arena = ViewArena::new();
+        let views = run_views(&rounds, &inputs, &mut arena);
+        // Compute transitive "has heard of" sets operationally.
+        let mut heard: HashMap<ProcessId, ProcessSet> = r
+            .part()
+            .iter()
+            .map(|p| (p, ProcessSet::singleton(p)))
+            .collect();
+        for round in &rounds {
+            let pre = heard.clone();
+            for p in round.participants().iter() {
+                let mut h = pre[&p];
+                for q in round.seen_by(p).iter() {
+                    h = h.union(pre[&q]);
+                }
+                heard.insert(p, h);
+            }
+        }
+        for (p, view) in &views[rounds.len()] {
+            let leaf0 = views[0][&ProcessId(0)];
+            let contains_p0 = arena.occurs_in(leaf0, *view);
+            prop_assert_eq!(
+                contains_p0,
+                heard[p].contains(ProcessId(0)),
+                "information-flow mismatch for {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn round_restriction_preserves_order(r in arb_round((0..4u8).collect())) {
+        let keep: ProcessSet = [ProcessId(0), ProcessId(2)].into_iter().collect();
+        if let Some(restricted) = r.restrict(keep) {
+            prop_assert!(restricted.participants().is_subset_of(keep));
+            // Relative order of kept processes is unchanged.
+            for p in restricted.participants().iter() {
+                for q in restricted.participants().iter() {
+                    let before = r.block_of(p).unwrap() <= r.block_of(q).unwrap();
+                    let after =
+                        restricted.block_of(p).unwrap() <= restricted.block_of(q).unwrap();
+                    prop_assert_eq!(before, after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seen_sets_form_chains(r in arb_round((0..5u8).collect())) {
+        let parts: Vec<ProcessId> = r.participants().iter().collect();
+        for a in &parts {
+            prop_assert!(r.seen_by(*a).contains(*a));
+            for b in &parts {
+                let sa = r.seen_by(*a);
+                let sb = r.seen_by(*b);
+                prop_assert!(sa.is_subset_of(sb) || sb.is_subset_of(sa));
+                if sa.contains(*b) {
+                    prop_assert!(sb.is_subset_of(sa));
+                }
+            }
+        }
+    }
+}

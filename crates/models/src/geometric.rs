@@ -1,0 +1,129 @@
+//! Geometric models (paper §5): sub-IIS models of the form `π^{-1}(S)` for
+//! a region `S ⊆ |s|`.
+//!
+//! The affine projection `π : R → |s|` collapses each run onto the limit
+//! point of its configuration simplices; a *geometric* model is specified
+//! by a predicate on that point. All of the paper's Examples 2.1–2.4 are
+//! geometric (they depend only on `fast(r) = χ(π(r))`), which this module
+//! verifies computationally; but geometric models are strictly more
+//! expressive — e.g. "runs converging into a metric ball".
+
+use gact_iis::Run;
+use gact_topology::Point;
+
+use crate::model::SubIisModel;
+use crate::projection::affine_projection;
+
+/// A model `π^{-1}(S)` given by a membership predicate for `S ⊆ |s|`.
+pub struct GeometricModel<F> {
+    /// Number of processes `n + 1`.
+    pub n_procs: usize,
+    /// Human-readable region description.
+    pub region_name: String,
+    /// The region predicate on points of `|s|`.
+    pub region: F,
+}
+
+impl<F: Fn(&Point) -> bool> GeometricModel<F> {
+    /// Builds the model from a region predicate.
+    pub fn new(n_procs: usize, region_name: &str, region: F) -> Self {
+        GeometricModel {
+            n_procs,
+            region_name: region_name.to_string(),
+            region,
+        }
+    }
+}
+
+impl<F: Fn(&Point) -> bool> SubIisModel for GeometricModel<F> {
+    fn process_count(&self) -> usize {
+        self.n_procs
+    }
+    fn contains(&self, run: &Run) -> bool {
+        run.process_count() == self.n_procs && (self.region)(&affine_projection(run))
+    }
+    fn name(&self) -> String {
+        format!("π⁻¹({})", self.region_name)
+    }
+}
+
+/// The geometric formulation of `Res_t`: points whose support (the face of
+/// `s` they live on) has at least `n + 1 − t` coordinates — i.e. points
+/// off a neighborhood of the `(n−t−1)`-skeleton. Exactly Example 2.2 via
+/// `χ(π(r)) = fast(r)`.
+pub fn geometric_t_resilient(n_procs: usize, t: usize) -> GeometricModel<impl Fn(&Point) -> bool> {
+    let needed = n_procs - t;
+    GeometricModel::new(
+        n_procs,
+        &format!("support ≥ {needed}"),
+        move |p: &Point| p.iter().filter(|&&x| x > 1e-9).count() >= needed,
+    )
+}
+
+/// The geometric formulation of `OF_k`: points supported on at most `k`
+/// coordinates.
+pub fn geometric_obstruction_free(
+    n_procs: usize,
+    k: usize,
+) -> GeometricModel<impl Fn(&Point) -> bool> {
+    GeometricModel::new(
+        n_procs,
+        &format!("support ≤ {k}"),
+        move |p: &Point| p.iter().filter(|&&x| x > 1e-9).count() <= k,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ObstructionFree, TResilient};
+    use crate::sampler::enumerate_runs;
+
+    #[test]
+    fn geometric_t_resilient_matches_combinatorial() {
+        // §5: the combinatorial Res_t and its geometric π-formulation
+        // agree — exhaustively on short runs.
+        let combinatorial = TResilient { n_procs: 3, t: 1 };
+        let geometric = geometric_t_resilient(3, 1);
+        for r in enumerate_runs(3, 0) {
+            assert_eq!(
+                combinatorial.contains(&r),
+                geometric.contains(&r),
+                "Res_1 disagreement on {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_obstruction_free_matches_combinatorial() {
+        let combinatorial = ObstructionFree { n_procs: 3, k: 1 };
+        let geometric = geometric_obstruction_free(3, 1);
+        for r in enumerate_runs(3, 0) {
+            assert_eq!(
+                combinatorial.contains(&r),
+                geometric.contains(&r),
+                "OF_1 disagreement on {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_region_model() {
+        // A genuinely geometric model with no combinatorial counterpart:
+        // runs converging into the L1 ball of radius 0.5 around the
+        // barycenter.
+        let ball = GeometricModel::new(3, "B(bary, 0.5)", |p: &Point| {
+            p.iter().map(|x| (x - 1.0 / 3.0).abs()).sum::<f64>() <= 0.5
+        });
+        assert!(ball.contains(&Run::fair(3)));
+        // A solo run projects to a corner: outside the ball.
+        let solo = Run::new(
+            3,
+            [],
+            [gact_iis::Round::solo(gact_iis::ProcessId(0))],
+        )
+        .unwrap();
+        assert!(!ball.contains(&solo));
+        assert!(ball.name().contains("B(bary, 0.5)"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # gact-models
+//!
+//! Sub-IIS models (paper §2.2 and §5): arbitrary subsets of the runs of the
+//! IIS model, with the paper's example families, the affine projection that
+//! visualizes geometric models, and run samplers.
+//!
+//! * [`SubIisModel`] — a model is a membership predicate on runs;
+//! * [`WaitFree`], [`TResilient`], [`ObstructionFree`], [`Adversary`] —
+//!   Examples 2.1–2.4;
+//! * [`FastCompanion`] — the `M_fast` construction of §4.5;
+//! * [`projection`] — `π : R → |s|` and the canonical coloring
+//!   `χ(π(r)) = fast(r)` of §5;
+//! * [`sampler`] — exhaustive and random run generation per model.
+//!
+//! ## Example
+//!
+//! ```
+//! use gact_iis::Run;
+//! use gact_models::{SubIisModel, TResilient};
+//!
+//! let res1 = TResilient { n_procs: 3, t: 1 };
+//! assert!(res1.contains(&Run::fair(3)));
+//! ```
+
+pub mod geometric;
+pub mod model;
+pub mod projection;
+pub mod sampler;
+
+pub use model::{
+    Adversary, FastCompanion, ModelIntersection, ObstructionFree, SubIisModel, TResilient,
+    WaitFree,
+};
+pub use geometric::{geometric_obstruction_free, geometric_t_resilient, GeometricModel};
+pub use projection::{affine_projection, canonical_coloring_at_depth};
+pub use sampler::{enumerate_runs, RunSampler, SamplerConfig};

@@ -1,0 +1,199 @@
+//! The affine projection `π : R → |s|` and the canonical coloring
+//! `χ : |s| → 2^{{0,…,n}}` (paper §5).
+//!
+//! A run corresponds to a nested sequence of simplices
+//! `σ_k ∈ Chr^k s` (the configuration simplices of its rounds); their
+//! geometric realizations shrink to a single point `π(r)`. The information
+//! in `π(r)` is exactly the limit views of the fast processes:
+//! `χ(π(r)) = fast(r)`, and `π(r)` determines `minimal(r)`.
+
+use std::collections::HashMap;
+
+use gact_chromatic::standard_simplex;
+use gact_iis::{ProcessId, ProcessSet, Run};
+use gact_topology::Point;
+
+/// Numerical convergence target for the projection iteration.
+const TOL: f64 = 1e-12;
+
+/// Computes `π(r)` by iterating the subdivision-coordinate update until the
+/// configuration simplex of the infinitely-participating processes has L1
+/// diameter below `TOL` (convergence is geometric: each round shrinks the
+/// configuration by a factor `≤ n/(n+1)`).
+pub fn affine_projection(run: &Run) -> Point {
+    let n_procs = run.process_count();
+    // Positions of every participating process, starting at the corners.
+    let mut pos: HashMap<ProcessId, Point> = run
+        .part()
+        .iter()
+        .map(|p| {
+            let mut x = vec![0.0; n_procs];
+            x[p.0 as usize] = 1.0;
+            (p, x)
+        })
+        .collect();
+    let inf = run.inf_part();
+    let mut k = 0usize;
+    loop {
+        let round = run.round(k).clone();
+        let pre = pos.clone();
+        for p in round.participants().iter() {
+            let seen = round.seen_by(p);
+            let m = seen.len() as f64;
+            let w_self = 1.0 / (2.0 * m - 1.0);
+            let w_other = 2.0 / (2.0 * m - 1.0);
+            let mut x = vec![0.0; n_procs];
+            for q in seen.iter() {
+                let w = if q == p { w_self } else { w_other };
+                for (acc, v) in x.iter_mut().zip(&pre[&q]) {
+                    *acc += w * v;
+                }
+            }
+            pos.insert(p, x);
+        }
+        k += 1;
+        if k >= 16 && diameter(&pos, inf) < TOL {
+            break;
+        }
+        assert!(k < 100_000, "affine projection failed to converge");
+    }
+    // All infinitely-participating positions coincide (within TOL); return
+    // their barycenter.
+    let mut acc = vec![0.0; n_procs];
+    for p in inf.iter() {
+        for (a, v) in acc.iter_mut().zip(&pos[&p]) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= inf.len() as f64;
+    }
+    acc
+}
+
+fn diameter(pos: &HashMap<ProcessId, Point>, set: ProcessSet) -> f64 {
+    let pts: Vec<&Point> = set.iter().map(|p| &pos[&p]).collect();
+    let mut d: f64 = 0.0;
+    for i in 0..pts.len() {
+        for j in i + 1..pts.len() {
+            let dist: f64 = pts[i]
+                .iter()
+                .zip(pts[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            d = d.max(dist);
+        }
+    }
+    d
+}
+
+/// The canonical coloring `χ(p)` of a point of `|s|`, approximated at
+/// subdivision depth `depth`: the color set of the carrier of `p` in
+/// `Chr^depth s`. The true `χ(p)` is the stable value as `depth → ∞`;
+/// for points of the form `π(r)` the value stabilizes at finite depth
+/// (and equals `fast(r)`, checked in the tests).
+pub fn canonical_coloring_at_depth(point: &[f64], n: usize, depth: usize) -> ProcessSet {
+    let (mut complex, mut geometry) = standard_simplex(n);
+    let mut result = carrier_colors(point, &complex, &geometry);
+    for _ in 0..depth {
+        let sd = gact_chromatic::chr(&complex, &geometry);
+        complex = sd.complex;
+        geometry = sd.geometry;
+        result = carrier_colors(point, &complex, &geometry);
+    }
+    result
+}
+
+fn carrier_colors(
+    point: &[f64],
+    complex: &gact_chromatic::ChromaticComplex,
+    geometry: &gact_topology::Geometry,
+) -> ProcessSet {
+    let carrier = geometry
+        .carrier_of_point(point, complex.complex())
+        .expect("point must lie in |s|");
+    complex.chi(&carrier).iter().map(ProcessId::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_iis::Round;
+
+    fn round(blocks: &[&[u8]]) -> Round {
+        Round::from_blocks(
+            blocks
+                .iter()
+                .map(|b| b.iter().map(|&i| ProcessId(i)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    fn pset(ids: &[u8]) -> ProcessSet {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn fair_run_projects_to_barycenter_direction() {
+        // All processes symmetric: the projection is the barycenter.
+        let p = affine_projection(&Run::fair(3));
+        for x in &p {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9, "expected barycenter, got {p:?}");
+        }
+    }
+
+    #[test]
+    fn solo_run_projects_to_corner() {
+        let r = Run::new(3, [], [round(&[&[1]])]).unwrap();
+        let p = affine_projection(&r);
+        assert!((p[1] - 1.0).abs() < 1e-9);
+        assert!(p[0].abs() < 1e-9 && p[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_invariant_under_minimal() {
+        // π(r) is the same point for r and minimal(r) (§5: each point of
+        // |s| is identified with a minimal run).
+        let runs = [
+            Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(),
+            Run::new(3, [round(&[&[0, 1, 2]])], [round(&[&[0], &[1]])]).unwrap(),
+            Run::new(2, [], [round(&[&[0], &[1]]), round(&[&[1], &[0]])]).unwrap(),
+        ];
+        for r in &runs {
+            let a = affine_projection(r);
+            let b = affine_projection(&r.minimal());
+            let d: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(d < 1e-9, "π(r) ≠ π(minimal(r)) for {r:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_coloring_equals_fast_set() {
+        // χ(π(r)) = fast(r) (§5).
+        let cases = [
+            (Run::fair(3), pset(&[0, 1, 2])),
+            (Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(), pset(&[0])),
+            (
+                Run::new(3, [], [round(&[&[0, 1], &[2]])]).unwrap(),
+                pset(&[0, 1]),
+            ),
+            (Run::new(3, [], [round(&[&[2]])]).unwrap(), pset(&[2])),
+        ];
+        for (r, expected_fast) in &cases {
+            assert_eq!(r.fast(), *expected_fast, "fast mismatch for {r:?}");
+            let point = affine_projection(r);
+            let chi = canonical_coloring_at_depth(&point, 2, 3);
+            assert_eq!(chi, *expected_fast, "χ(π(r)) ≠ fast(r) for {r:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_minimal_runs_project_to_distinct_points() {
+        let r1 = Run::new(3, [], [round(&[&[0], &[1]])]).unwrap();
+        let r2 = Run::new(3, [], [round(&[&[1], &[0]])]).unwrap();
+        let p1 = affine_projection(&r1.minimal());
+        let p2 = affine_projection(&r2.minimal());
+        let d: f64 = p1.iter().zip(&p2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d > 1e-6);
+    }
+}

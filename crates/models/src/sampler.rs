@@ -1,0 +1,268 @@
+//! Run generators: exhaustive enumeration of short ultimately periodic
+//! runs, uniform random runs, and targeted constructions with a prescribed
+//! fast set (used to sample `Res_t`, `OF_k` and adversarial models).
+
+use gact_iis::{ProcessId, ProcessSet, Round, Run};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Enumerates every ultimately periodic run with exactly `prefix_len`
+/// prefix rounds and a 1-round cycle, over `n_procs` processes. The count
+/// grows like (sum over nested participant chains of products of Fubini
+/// numbers); keep `n_procs ≤ 3` and `prefix_len ≤ 1` in exhaustive tests.
+pub fn enumerate_runs(n_procs: usize, prefix_len: usize) -> Vec<Run> {
+    let full = ProcessSet::full(n_procs);
+    let mut out = Vec::new();
+    // Choose a nested chain of participant sets of length prefix_len + 1.
+    fn rec(
+        n_procs: usize,
+        chain: &mut Vec<ProcessSet>,
+        remaining: usize,
+        out: &mut Vec<Run>,
+    ) {
+        if remaining == 0 {
+            // Enumerate the rounds per chain element.
+            let mut round_choices: Vec<Vec<Round>> =
+                chain.iter().map(|s| Round::enumerate(*s)).collect();
+            let cycle_choices = round_choices.pop().expect("chain non-empty");
+            let mut prefix_rounds: Vec<Vec<Round>> = vec![Vec::new()];
+            for choices in &round_choices {
+                let mut next = Vec::new();
+                for partial in &prefix_rounds {
+                    for c in choices {
+                        let mut np = partial.clone();
+                        np.push(c.clone());
+                        next.push(np);
+                    }
+                }
+                prefix_rounds = next;
+            }
+            for prefix in &prefix_rounds {
+                for cyc in &cycle_choices {
+                    out.push(
+                        Run::new(n_procs, prefix.clone(), [cyc.clone()])
+                            .expect("enumerated runs are valid"),
+                    );
+                }
+            }
+            return;
+        }
+        let last = *chain.last().expect("chain starts non-empty");
+        for sub in last.nonempty_subsets() {
+            chain.push(sub);
+            rec(n_procs, chain, remaining - 1, out);
+            chain.pop();
+        }
+    }
+    for part in full.nonempty_subsets() {
+        let mut chain = vec![part];
+        rec(n_procs, &mut chain, prefix_len, &mut out);
+    }
+    out
+}
+
+/// Configuration for [`RunSampler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Maximum prefix length.
+    pub max_prefix: usize,
+    /// Maximum cycle length.
+    pub max_cycle: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            max_prefix: 3,
+            max_cycle: 2,
+        }
+    }
+}
+
+/// Seeded random generator of ultimately periodic runs.
+#[derive(Clone, Debug)]
+pub struct RunSampler {
+    n_procs: usize,
+    config: SamplerConfig,
+    rng: StdRng,
+}
+
+impl RunSampler {
+    /// Creates a sampler for `n_procs` processes.
+    pub fn new(n_procs: usize, seed: u64, config: SamplerConfig) -> Self {
+        RunSampler {
+            n_procs,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_subset(&mut self, of: ProcessSet, nonempty: bool) -> ProcessSet {
+        loop {
+            let s: ProcessSet = of
+                .iter()
+                .filter(|_| self.rng.gen_bool(0.6))
+                .collect();
+            if !s.is_empty() || !nonempty {
+                return s;
+            }
+        }
+    }
+
+    fn random_round(&mut self, participants: ProcessSet) -> Round {
+        let mut members: Vec<ProcessId> = participants.iter().collect();
+        members.shuffle(&mut self.rng);
+        let mut blocks: Vec<Vec<ProcessId>> = Vec::new();
+        let mut block: Vec<ProcessId> = Vec::new();
+        for p in members {
+            block.push(p);
+            if self.rng.gen_bool(0.5) {
+                blocks.push(std::mem::take(&mut block));
+            }
+        }
+        if !block.is_empty() {
+            blocks.push(block);
+        }
+        Round::from_blocks(blocks).expect("random partition is valid")
+    }
+
+    /// A uniform-ish random run: random nested participant chain, random
+    /// partitions.
+    pub fn sample(&mut self) -> Run {
+        let full = ProcessSet::full(self.n_procs);
+        let part = self.random_subset(full, true);
+        let prefix_len = self.rng.gen_range(0..=self.config.max_prefix);
+        let cycle_len = self.rng.gen_range(1..=self.config.max_cycle);
+        let mut sets = Vec::with_capacity(prefix_len + 1);
+        let mut cur = part;
+        for _ in 0..prefix_len {
+            sets.push(cur);
+            cur = self.random_subset(cur, true);
+        }
+        let inf = cur;
+        let prefix: Vec<Round> = sets.into_iter().map(|s| self.random_round(s)).collect();
+        let cycle: Vec<Round> = (0..cycle_len).map(|_| self.random_round(inf)).collect();
+        Run::new(self.n_procs, prefix, cycle).expect("sampled run is valid")
+    }
+
+    /// A random run with `fast(r)` exactly equal to `fast`: the cycle
+    /// opens with a fair round of `fast` (making them mutually fast) and
+    /// drags the `trailing` processes behind in strictly later blocks (so
+    /// they stay slow while participating forever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast` is empty or intersects `trailing`.
+    pub fn sample_with_fast(&mut self, fast: ProcessSet, trailing: ProcessSet) -> Run {
+        assert!(!fast.is_empty(), "fast set must be non-empty");
+        assert!(
+            fast.intersection(trailing).is_empty(),
+            "fast and trailing sets must be disjoint"
+        );
+        let inf = fast.union(trailing);
+        let full = ProcessSet::full(self.n_procs);
+        // Random prefix descending from a random superset of inf.
+        let mut part = inf;
+        for p in full.difference(inf).iter() {
+            if self.rng.gen_bool(0.5) {
+                part.insert(p);
+            }
+        }
+        let prefix_len = self.rng.gen_range(0..=self.config.max_prefix);
+        let mut sets = Vec::new();
+        let mut cur = part;
+        for _ in 0..prefix_len {
+            sets.push(cur);
+            // Shrink towards inf.
+            let mut next = inf;
+            for p in cur.difference(inf).iter() {
+                if self.rng.gen_bool(0.5) {
+                    next.insert(p);
+                }
+            }
+            cur = next;
+        }
+        let prefix: Vec<Round> = sets.into_iter().map(|s| self.random_round(s)).collect();
+        // Cycle: fair round over fast, trailing behind; then a few random
+        // rounds of the same shape.
+        let cycle_len = self.rng.gen_range(1..=self.config.max_cycle);
+        let mut cycle = Vec::with_capacity(cycle_len);
+        for i in 0..cycle_len {
+            let mut blocks: Vec<ProcessSet> = if i == 0 {
+                vec![fast]
+            } else {
+                self.random_round(fast)
+                    .blocks()
+                    .to_vec()
+            };
+            if !trailing.is_empty() {
+                blocks.push(trailing);
+            }
+            cycle.push(Round::new(blocks).expect("valid round"));
+        }
+        Run::new(self.n_procs, prefix, cycle).expect("constructed run is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SubIisModel, TResilient, WaitFree};
+
+    #[test]
+    fn enumeration_small_counts() {
+        // n_procs = 2, no prefix: participant sets {0},{1},{01} with 1,1,3
+        // cycles: 5 runs.
+        let runs = enumerate_runs(2, 0);
+        assert_eq!(runs.len(), 5);
+        // All valid and in WF.
+        let wf = WaitFree { n_procs: 2 };
+        assert!(runs.iter().all(|r| wf.contains(r)));
+    }
+
+    #[test]
+    fn enumeration_with_prefix() {
+        let runs = enumerate_runs(2, 1);
+        // Chains: {01}->{01}: 3*3; {01}->{0}: 3*1; {01}->{1}: 3*1;
+        // {0}->{0}: 1; {1}->{1}: 1. Total 9+3+3+1+1 = 17.
+        assert_eq!(runs.len(), 17);
+        for r in &runs {
+            assert_eq!(r.prefix().len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_samples_are_valid_and_deterministic() {
+        let mut s1 = RunSampler::new(3, 11, SamplerConfig::default());
+        let mut s2 = RunSampler::new(3, 11, SamplerConfig::default());
+        for _ in 0..100 {
+            let a = s1.sample();
+            let b = s2.sample();
+            assert!(a.same_run(&b), "sampler not deterministic per seed");
+        }
+    }
+
+    #[test]
+    fn sample_with_fast_hits_target() {
+        let mut s = RunSampler::new(4, 5, SamplerConfig::default());
+        let fast: ProcessSet = [ProcessId(0), ProcessId(2)].into_iter().collect();
+        let trailing: ProcessSet = [ProcessId(1)].into_iter().collect();
+        for _ in 0..50 {
+            let r = s.sample_with_fast(fast, trailing);
+            assert_eq!(r.fast(), fast, "wrong fast set for {r:?}");
+            assert!(r.inf_part().contains(ProcessId(1)));
+        }
+    }
+
+    #[test]
+    fn sample_with_fast_populates_t_resilient() {
+        let mut s = RunSampler::new(3, 9, SamplerConfig::default());
+        let res1 = TResilient { n_procs: 3, t: 1 };
+        let fast: ProcessSet = [ProcessId(1), ProcessId(2)].into_iter().collect();
+        for _ in 0..20 {
+            let r = s.sample_with_fast(fast, ProcessSet::empty());
+            assert!(res1.contains(&r));
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The Borowsky–Gafni one-shot immediate snapshot, implemented over
+//! single-writer registers with explicit steps.
+//!
+//! This is the algorithm behind the paper's premise that IS tasks — and
+//! hence the whole IIS model — are implementable from read/write memory
+//! (§1, citing Borowsky–Gafni 1993). Each process descends through levels
+//! `n+1, n, …`: at level `ℓ` it writes `(value, ℓ)` and then collects all
+//! registers one read at a time; if it sees at least `ℓ` processes at
+//! levels `≤ ℓ`, it returns the set of those processes' values.
+//!
+//! The returned views satisfy the immediate-snapshot properties, checked
+//! exhaustively in the tests and property-tested under random schedules:
+//!
+//! * **self-inclusion** — `p ∈ view_p`;
+//! * **containment** — any two views are `⊆`-comparable;
+//! * **immediacy** — `q ∈ view_p ⟹ view_q ⊆ view_p`.
+
+use std::collections::BTreeMap;
+
+use gact_iis::{ProcessId, ProcessSet};
+
+use crate::memory::RegisterArray;
+use crate::scheduler::Scheduler;
+
+/// Phase of one process's state machine inside the IS protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    /// About to write `(value, level)` after descending to `level`.
+    Write,
+    /// Collecting: next register index to read.
+    Collect(usize),
+    /// Returned with a view.
+    Done,
+}
+
+/// Per-process execution state.
+#[derive(Clone, Debug)]
+struct ProcState<T> {
+    value: T,
+    level: usize,
+    phase: Phase,
+    collected: Vec<Option<(T, usize)>>,
+}
+
+/// A one-shot immediate snapshot object for `n_procs` processes.
+///
+/// Drive it by calling [`IsObject::step`] with a scheduler-chosen process;
+/// query outputs with [`IsObject::output`].
+#[derive(Clone, Debug)]
+pub struct IsObject<T> {
+    registers: RegisterArray<(T, usize)>,
+    procs: BTreeMap<ProcessId, ProcState<T>>,
+    outputs: BTreeMap<ProcessId, Vec<(ProcessId, T)>>,
+    n_procs: usize,
+}
+
+impl<T: Clone> IsObject<T> {
+    /// Creates the object for processes `p_0 … p_{n_procs−1}`.
+    pub fn new(n_procs: usize) -> Self {
+        IsObject {
+            registers: RegisterArray::new(n_procs),
+            procs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            n_procs,
+        }
+    }
+
+    /// Registers `p`'s invocation with its input value. Must be called
+    /// before `p` can be stepped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double invocation or out-of-range process.
+    pub fn invoke(&mut self, p: ProcessId, value: T) {
+        assert!((p.0 as usize) < self.n_procs, "process out of range");
+        assert!(!self.procs.contains_key(&p), "double invocation");
+        self.procs.insert(
+            p,
+            ProcState {
+                value,
+                level: self.n_procs + 1,
+                phase: Phase::Write,
+                collected: vec![None; self.n_procs],
+            },
+        );
+    }
+
+    /// Whether `p` has invoked but not yet returned.
+    pub fn is_enabled(&self, p: ProcessId) -> bool {
+        self.procs
+            .get(&p)
+            .map(|s| s.phase != Phase::Done)
+            .unwrap_or(false)
+    }
+
+    /// Sorted list of processes with pending steps.
+    pub fn enabled(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .filter(|(_, s)| s.phase != Phase::Done)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// The view returned to `p`, if it has returned: writer-tagged values,
+    /// sorted by process.
+    pub fn output(&self, p: ProcessId) -> Option<&[(ProcessId, T)]> {
+        self.outputs.get(&p).map(|v| v.as_slice())
+    }
+
+    /// The set of processes in `p`'s returned view.
+    pub fn output_set(&self, p: ProcessId) -> Option<ProcessSet> {
+        self.outputs
+            .get(&p)
+            .map(|v| v.iter().map(|(q, _)| *q).collect())
+    }
+
+    /// Executes one shared-memory step of `p` (a single write or a single
+    /// register read). Returns `true` if `p` returned during this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` has not invoked or has already returned.
+    pub fn step(&mut self, p: ProcessId) -> bool {
+        let n = self.n_procs;
+        let state = self.procs.get_mut(&p).expect("process not invoked");
+        match state.phase.clone() {
+            Phase::Done => panic!("process already returned"),
+            Phase::Write => {
+                state.level -= 1;
+                let (value, level) = (state.value.clone(), state.level);
+                state.phase = Phase::Collect(0);
+                self.registers.write(p, (value, level));
+                false
+            }
+            Phase::Collect(i) => {
+                let cell = self.registers.read(ProcessId(i as u8));
+                let state = self.procs.get_mut(&p).expect("just seen");
+                state.collected[i] = cell;
+                if i + 1 < n {
+                    state.phase = Phase::Collect(i + 1);
+                    return false;
+                }
+                // Collect finished: check the level condition.
+                let my_level = state.level;
+                let below: Vec<(ProcessId, T)> = state
+                    .collected
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, c)| {
+                        c.as_ref().and_then(|(v, l)| {
+                            (*l <= my_level).then(|| (ProcessId(j as u8), v.clone()))
+                        })
+                    })
+                    .collect();
+                if below.len() >= my_level {
+                    state.phase = Phase::Done;
+                    self.outputs.insert(p, below);
+                    true
+                } else {
+                    state.phase = Phase::Write;
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Runs the IS object to quiescence under a scheduler, with all of
+/// `participants` invoking their own id-tagged `values`. Returns when no
+/// process is enabled or the scheduler gives up.
+pub fn run_is<T: Clone>(
+    participants: &[(ProcessId, T)],
+    scheduler: &mut dyn Scheduler,
+    n_procs: usize,
+    max_steps: usize,
+) -> IsObject<T> {
+    let mut obj = IsObject::new(n_procs);
+    for (p, v) in participants {
+        obj.invoke(*p, v.clone());
+    }
+    for _ in 0..max_steps {
+        let enabled = obj.enabled();
+        if enabled.is_empty() {
+            break;
+        }
+        match scheduler.next(&enabled) {
+            Some(p) => {
+                obj.step(p);
+            }
+            None => break,
+        }
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{RandomScheduler, RoundRobin, ScriptedScheduler};
+
+    fn invocations(n: usize) -> Vec<(ProcessId, u32)> {
+        (0..n as u8).map(|i| (ProcessId(i), i as u32)).collect()
+    }
+
+    fn check_is_properties(obj: &IsObject<u32>, decided: &[ProcessId]) {
+        for &p in decided {
+            let vp = obj.output_set(p).unwrap();
+            // Self-inclusion.
+            assert!(vp.contains(p), "{p} missing from its own view");
+            for &q in decided {
+                let vq = obj.output_set(q).unwrap();
+                // Containment (comparability).
+                assert!(
+                    vp.is_subset_of(vq) || vq.is_subset_of(vp),
+                    "views of {p} and {q} incomparable"
+                );
+                // Immediacy.
+                if vp.contains(q) {
+                    assert!(vq.is_subset_of(vp), "immediacy broken for {q} in view of {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solo_process_sees_itself() {
+        let mut sched = RoundRobin::default();
+        let obj = run_is(&[(ProcessId(1), 7)], &mut sched, 3, 1000);
+        assert_eq!(obj.output(ProcessId(1)), Some(&[(ProcessId(1), 7u32)][..]));
+    }
+
+    #[test]
+    fn fair_schedule_full_view() {
+        let mut sched = RoundRobin::default();
+        let obj = run_is(&invocations(3), &mut sched, 3, 10_000);
+        let decided: Vec<ProcessId> = (0..3u8).map(ProcessId).collect();
+        for p in &decided {
+            assert!(obj.output(*p).is_some(), "{p} did not return");
+        }
+        check_is_properties(&obj, &decided);
+        // Under perfect round-robin everyone reaches the same level:
+        // all see all.
+        for p in &decided {
+            assert_eq!(obj.output_set(*p).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_gives_nested_views() {
+        // p0 runs to completion alone, then p1, then p2.
+        let mut steps = Vec::new();
+        for i in 0..3u8 {
+            // Each solo completion needs at most (n+1) * (1 write + n reads).
+            for _ in 0..40 {
+                steps.push(ProcessId(i));
+            }
+        }
+        let mut sched = ScriptedScheduler::new(steps);
+        let obj = run_is(&invocations(3), &mut sched, 3, 10_000);
+        let decided: Vec<ProcessId> = (0..3u8).map(ProcessId).collect();
+        check_is_properties(&obj, &decided);
+        // Views strictly grow along the sequential order.
+        let s0 = obj.output_set(ProcessId(0)).unwrap();
+        let s1 = obj.output_set(ProcessId(1)).unwrap();
+        let s2 = obj.output_set(ProcessId(2)).unwrap();
+        assert_eq!(s0.len(), 1);
+        assert!(s0.is_subset_of(s1) && s1.is_subset_of(s2));
+        assert!(s1.len() >= 2 && s2.len() == 3);
+    }
+
+    #[test]
+    fn wait_freedom_under_crashes() {
+        // p2 crashes immediately; p0 and p1 must still return.
+        let mut sched = RandomScheduler::seeded(42);
+        sched.crash(ProcessId(2));
+        let obj = run_is(&invocations(3), &mut sched, 3, 100_000);
+        assert!(obj.output(ProcessId(0)).is_some());
+        assert!(obj.output(ProcessId(1)).is_some());
+        assert!(obj.output(ProcessId(2)).is_none());
+        check_is_properties(&obj, &[ProcessId(0), ProcessId(1)]);
+    }
+
+    #[test]
+    fn random_schedules_always_satisfy_is_properties() {
+        for seed in 0..200 {
+            let mut sched = RandomScheduler::seeded(seed);
+            let obj = run_is(&invocations(4), &mut sched, 4, 100_000);
+            let decided: Vec<ProcessId> = (0..4u8)
+                .map(ProcessId)
+                .filter(|p| obj.output(*p).is_some())
+                .collect();
+            assert_eq!(decided.len(), 4, "wait-freedom violated at seed {seed}");
+            check_is_properties(&obj, &decided);
+        }
+    }
+
+    #[test]
+    fn random_schedules_with_crashes() {
+        for seed in 0..200 {
+            let mut sched = RandomScheduler::seeded(seed);
+            if seed % 2 == 0 {
+                sched.crash(ProcessId(0));
+            }
+            if seed % 3 == 0 {
+                sched.crash(ProcessId(3));
+            }
+            let obj = run_is(&invocations(4), &mut sched, 4, 100_000);
+            let decided: Vec<ProcessId> = (0..4u8)
+                .map(ProcessId)
+                .filter(|p| obj.output(*p).is_some())
+                .collect();
+            check_is_properties(&obj, &decided);
+        }
+    }
+
+    #[test]
+    fn step_counts_are_bounded() {
+        // Wait-free termination bound: each descent costs 1 write + n
+        // reads, and there are at most n+1 levels.
+        let mut sched = RoundRobin::default();
+        let obj = run_is(&invocations(3), &mut sched, 3, 10_000);
+        let per_proc = (3 + 1) * (1 + 3);
+        assert!(obj.registers.read_count() + obj.registers.write_count() <= 3 * per_proc as u64);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gact-shm
+//!
+//! The standard shared-memory substrate beneath the IIS model (paper §1):
+//!
+//! * [`memory`] — single-writer multi-reader registers with explicit steps;
+//! * [`scheduler`] — adversarial step schedulers (the "interleavings of
+//!   read and write steps" that define SM runs);
+//! * [`is_object`] — the Borowsky–Gafni one-shot immediate snapshot,
+//!   wait-free from registers, with its three properties property-tested;
+//! * [`iis_sim`] — the forward simulation `F : SM → IIS`: IIS layered over
+//!   SM-implemented IS objects, flattened back into IIS rounds;
+//! * [`snapshot`] — double-collect snapshots (the classical justification
+//!   for assuming snapshot primitives in SM).
+//!
+//! ## Example
+//!
+//! ```
+//! use gact_iis::{ProcessId, ProcessSet};
+//! use gact_shm::{simulate_iis, RoundRobin};
+//!
+//! let mut sched = RoundRobin::default();
+//! let sim = gact_shm::simulate_iis(3, ProcessSet::full(3), 2, &mut sched, 1_000_000);
+//! assert_eq!(sim.rounds.len(), 2);
+//! ```
+
+pub mod is_object;
+pub mod iis_sim;
+pub mod memory;
+pub mod scheduler;
+pub mod snapshot;
+
+pub use is_object::{run_is, IsObject};
+pub use iis_sim::{simulate_iis, SimulatedIis};
+pub use memory::RegisterArray;
+pub use scheduler::{RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler};
+pub use snapshot::SnapshotObject;

@@ -1,0 +1,83 @@
+//! Single-writer multi-reader atomic registers — the standard shared-memory
+//! (SM) substrate of the paper's §1.
+//!
+//! Memory operations are explicit *steps* so that a [`crate::Scheduler`]
+//! can interleave them adversarially; nothing here uses OS threads. Each
+//! register is owned by one process (single-writer) and readable by all.
+
+use gact_iis::ProcessId;
+
+/// An array of single-writer registers, one per process.
+#[derive(Clone, Debug)]
+pub struct RegisterArray<T> {
+    cells: Vec<Option<T>>,
+    writes: u64,
+    reads: u64,
+}
+
+impl<T: Clone> RegisterArray<T> {
+    /// Creates `count` empty registers.
+    pub fn new(count: usize) -> Self {
+        RegisterArray {
+            cells: vec![None; count],
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// One write step by the owner of register `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn write(&mut self, p: ProcessId, value: T) {
+        self.writes += 1;
+        self.cells[p.0 as usize] = Some(value);
+    }
+
+    /// One read step of register `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn read(&mut self, q: ProcessId) -> Option<T> {
+        self.reads += 1;
+        self.cells[q.0 as usize].clone()
+    }
+
+    /// Number of write steps so far (for step accounting in benches).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of read steps so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut r = RegisterArray::new(3);
+        assert_eq!(r.read(ProcessId(1)), None);
+        r.write(ProcessId(1), 42u32);
+        assert_eq!(r.read(ProcessId(1)), Some(42));
+        assert_eq!(r.read(ProcessId(0)), None);
+        assert_eq!(r.write_count(), 1);
+        assert_eq!(r.read_count(), 3);
+    }
+}

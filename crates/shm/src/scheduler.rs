@@ -1,0 +1,160 @@
+//! Step schedulers: adversaries choosing which process moves next.
+//!
+//! An SM run is an interleaving of read/write steps (paper §1). The
+//! scheduler *is* the adversary: it picks, at every step, which enabled
+//! process advances. Crashes are modelled by never scheduling a process
+//! again.
+
+use gact_iis::{ProcessId, ProcessSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses the next process to take a shared-memory step.
+pub trait Scheduler {
+    /// Picks one of the `enabled` processes, or `None` to end the run.
+    /// `enabled` is always non-empty and sorted.
+    fn next(&mut self, enabled: &[ProcessId]) -> Option<ProcessId>;
+}
+
+/// Round-robin over the enabled processes: the fair schedule.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    last: Option<ProcessId>,
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, enabled: &[ProcessId]) -> Option<ProcessId> {
+        let pick = match self.last {
+            None => enabled[0],
+            Some(last) => *enabled
+                .iter()
+                .find(|p| **p > last)
+                .unwrap_or(&enabled[0]),
+        };
+        self.last = Some(pick);
+        Some(pick)
+    }
+}
+
+/// Uniformly random scheduling with an optional crash set: processes in
+/// `crashed` are never scheduled.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    crashed: ProcessSet,
+}
+
+impl RandomScheduler {
+    /// A seeded random scheduler (deterministic per seed).
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            crashed: ProcessSet::empty(),
+        }
+    }
+
+    /// Marks a process as crashed from now on.
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed.insert(p);
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, enabled: &[ProcessId]) -> Option<ProcessId> {
+        let alive: Vec<ProcessId> = enabled
+            .iter()
+            .copied()
+            .filter(|p| !self.crashed.contains(*p))
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        Some(alive[self.rng.gen_range(0..alive.len())])
+    }
+}
+
+/// Replays an explicit step sequence (for regression tests and adversarial
+/// counterexamples); ends the run when exhausted or when the scripted
+/// process is not enabled.
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    steps: Vec<ProcessId>,
+    at: usize,
+}
+
+impl ScriptedScheduler {
+    /// Builds a scheduler replaying `steps`.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(steps: I) -> Self {
+        ScriptedScheduler {
+            steps: steps.into_iter().collect(),
+            at: 0,
+        }
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn next(&mut self, enabled: &[ProcessId]) -> Option<ProcessId> {
+        while self.at < self.steps.len() {
+            let p = self.steps[self.at];
+            self.at += 1;
+            if enabled.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[u8]) -> Vec<ProcessId> {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::default();
+        let enabled = pids(&[0, 1, 2]);
+        let picks: Vec<u8> = (0..6).map(|_| s.next(&enabled).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_disabled() {
+        let mut s = RoundRobin::default();
+        assert_eq!(s.next(&pids(&[0, 1, 2])), Some(ProcessId(0)));
+        // p1 no longer enabled.
+        assert_eq!(s.next(&pids(&[0, 2])), Some(ProcessId(2)));
+        assert_eq!(s.next(&pids(&[0, 2])), Some(ProcessId(0)));
+    }
+
+    #[test]
+    fn random_scheduler_respects_crashes() {
+        let mut s = RandomScheduler::seeded(7);
+        s.crash(ProcessId(0));
+        for _ in 0..50 {
+            let p = s.next(&pids(&[0, 1])).unwrap();
+            assert_eq!(p, ProcessId(1));
+        }
+        s.crash(ProcessId(1));
+        assert_eq!(s.next(&pids(&[0, 1])), None);
+    }
+
+    #[test]
+    fn scripted_scheduler_replays() {
+        let mut s = ScriptedScheduler::new(pids(&[1, 1, 0]));
+        assert_eq!(s.next(&pids(&[0, 1])), Some(ProcessId(1)));
+        assert_eq!(s.next(&pids(&[0, 1])), Some(ProcessId(1)));
+        assert_eq!(s.next(&pids(&[0, 1])), Some(ProcessId(0)));
+        assert_eq!(s.next(&pids(&[0, 1])), None);
+    }
+
+    #[test]
+    fn scripted_scheduler_skips_not_enabled() {
+        let mut s = ScriptedScheduler::new(pids(&[2, 0]));
+        // p2 not enabled: skip to p0.
+        assert_eq!(s.next(&pids(&[0, 1])), Some(ProcessId(0)));
+    }
+}

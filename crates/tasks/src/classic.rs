@@ -1,0 +1,292 @@
+//! Classic tasks: consensus and `k`-set agreement over pseudosphere
+//! complexes.
+//!
+//! These are the standard benchmarks of the ACT literature (paper §1, §10):
+//! consensus and set agreement are wait-free unsolvable, and the paper's
+//! 1-resilient 2-set-agreement discussion (§1) motivates the whole sub-IIS
+//! treatment.
+
+use std::collections::HashMap;
+
+use gact_chromatic::{CarrierMap, ChromaticComplex, Color};
+use gact_topology::{Complex, Geometry, Simplex, VertexId};
+
+use crate::task::Task;
+
+/// Vertex id encoding for pseudospheres: process `p` with value index `j`
+/// (into the task's value list) gets id `p * n_values + j`.
+pub fn pseudosphere_vertex(p: usize, value_index: usize, n_values: usize) -> VertexId {
+    VertexId((p * n_values + value_index) as u32)
+}
+
+/// Decodes a pseudosphere vertex id into `(process, value_index)`.
+pub fn decode_pseudosphere_vertex(v: VertexId, n_values: usize) -> (usize, usize) {
+    ((v.0 as usize) / n_values, (v.0 as usize) % n_values)
+}
+
+/// The pseudosphere complex `ψ(n, V)`: every process independently holds
+/// one of the values; facets are all `|V|^{n+1}` assignments.
+pub fn pseudosphere(n: usize, values: &[u32]) -> (ChromaticComplex, Geometry) {
+    let n_values = values.len();
+    let mut facets = Vec::new();
+    let mut assignment = vec![0usize; n + 1];
+    loop {
+        facets.push(Simplex::new(
+            (0..=n).map(|p| pseudosphere_vertex(p, assignment[p], n_values)),
+        ));
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i > n {
+                break;
+            }
+            assignment[i] += 1;
+            if assignment[i] < n_values {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+        if i > n {
+            break;
+        }
+    }
+    let complex = Complex::from_facets(facets);
+    let colors: Vec<(VertexId, Color)> = complex
+        .vertex_set()
+        .into_iter()
+        .map(|v| {
+            let (p, _) = decode_pseudosphere_vertex(v, n_values);
+            (v, Color(p as u8))
+        })
+        .collect();
+    let cc = ChromaticComplex::new(complex, colors).expect("pseudosphere coloring is chromatic");
+    // Geometry: one axis per vertex (positions only matter for executors).
+    let n_vertices = (n + 1) * n_values;
+    let mut g = Geometry::new(n_vertices);
+    for v in cc.complex().vertex_set() {
+        let mut x = vec![0.0; n_vertices];
+        x[v.0 as usize] = 1.0;
+        g.set(v, x);
+    }
+    (cc, g)
+}
+
+/// The value indices appearing on a pseudosphere simplex.
+fn values_of(simplex: &Simplex, n_values: usize) -> Vec<usize> {
+    let mut vals: Vec<usize> = simplex
+        .iter()
+        .map(|v| decode_pseudosphere_vertex(v, n_values).1)
+        .collect();
+    vals.sort_unstable();
+    vals.dedup();
+    vals
+}
+
+/// `k`-set agreement over the given input values: every process outputs a
+/// value that was some participant's input, and at most `k` distinct
+/// values are output.
+pub fn set_agreement_task(n: usize, values: &[u32], k: usize) -> Task {
+    assert!(k >= 1, "k-set agreement needs k >= 1");
+    let (input, input_geometry) = pseudosphere(n, values);
+    let output = input.clone();
+    let n_values = values.len();
+    let mut delta = CarrierMap::default();
+    for sigma in input.complex().iter() {
+        let allowed_values = values_of(sigma, n_values);
+        let colors: Vec<usize> = sigma
+            .iter()
+            .map(|v| decode_pseudosphere_vertex(v, n_values).0)
+            .collect();
+        // Facets of the image: each color of σ picks an allowed value, with
+        // at most k distinct values in total.
+        let mut facets = Vec::new();
+        let mut pick = vec![0usize; colors.len()];
+        loop {
+            let chosen: Vec<usize> = pick.iter().map(|&i| allowed_values[i]).collect();
+            let mut distinct = chosen.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() <= k {
+                facets.push(Simplex::new(
+                    colors
+                        .iter()
+                        .zip(&chosen)
+                        .map(|(&p, &val)| pseudosphere_vertex(p, val, n_values)),
+                ));
+            }
+            let mut i = 0;
+            loop {
+                if i >= pick.len() {
+                    break;
+                }
+                pick[i] += 1;
+                if pick[i] < allowed_values.len() {
+                    break;
+                }
+                pick[i] = 0;
+                i += 1;
+            }
+            if i >= pick.len() {
+                break;
+            }
+        }
+        delta.set(sigma.clone(), Complex::from_facets(facets));
+    }
+    Task {
+        name: format!("{k}-set-agreement(n={n}, |V|={})", values.len()),
+        n,
+        input,
+        input_geometry,
+        output,
+        delta,
+    }
+}
+
+/// Consensus = 1-set agreement.
+pub fn consensus_task(n: usize, values: &[u32]) -> Task {
+    let mut t = set_agreement_task(n, values, 1);
+    t.name = format!("consensus(n={n}, |V|={})", values.len());
+    t
+}
+
+/// Helper for tests and benches: the input facet in which process `p`
+/// starts with `inputs[p]` (an index into the task's value list).
+pub fn assignment_facet(n: usize, n_values: usize, inputs: &[usize]) -> Simplex {
+    assert_eq!(inputs.len(), n + 1);
+    Simplex::new(
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(p, &j)| pseudosphere_vertex(p, j, n_values)),
+    )
+}
+
+/// Decodes an output map `process -> vertex` into chosen value indices.
+pub fn decode_outputs(
+    outputs: &HashMap<gact_iis::ProcessId, VertexId>,
+    n_values: usize,
+) -> HashMap<gact_iis::ProcessId, usize> {
+    outputs
+        .iter()
+        .map(|(p, v)| (*p, decode_pseudosphere_vertex(*v, n_values).1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_iis::{ProcessId, ProcessSet};
+    use gact_topology::connectivity::is_k_connected;
+
+    #[test]
+    fn pseudosphere_counts() {
+        let (c, _) = pseudosphere(1, &[0, 1]);
+        // 2 processes × 2 values = 4 vertices; 4 facets (edges).
+        assert_eq!(c.complex().count_of_dim(0), 4);
+        assert_eq!(c.complex().count_of_dim(1), 4);
+        // ψ(1, {0,1}) is a 4-cycle: connected, not 1-connected.
+        assert!(is_k_connected(c.complex(), 0).holds());
+        assert!(!is_k_connected(c.complex(), 1).holds());
+        let (c2, _) = pseudosphere(2, &[0, 1]);
+        assert_eq!(c2.complex().count_of_dim(2), 8);
+    }
+
+    #[test]
+    fn consensus_task_validates() {
+        let t = consensus_task(1, &[0, 1]);
+        t.validate().unwrap();
+        let t2 = consensus_task(2, &[0, 1]);
+        t2.validate().unwrap();
+    }
+
+    #[test]
+    fn set_agreement_task_validates() {
+        let t = set_agreement_task(2, &[0, 1, 2], 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn consensus_delta_requires_agreement() {
+        let t = consensus_task(1, &[0, 1]);
+        // Input: p0 has value 0, p1 has value 1.
+        let omega = assignment_facet(1, 2, &[0, 1]);
+        let allowed = t.allowed(&omega);
+        // Allowed facets: both decide 0, or both decide 1.
+        assert_eq!(allowed.count_of_dim(1), 2);
+        // Disagreement is not allowed.
+        let disagree = Simplex::new([
+            pseudosphere_vertex(0, 0, 2),
+            pseudosphere_vertex(1, 1, 2),
+        ]);
+        assert!(!allowed.contains(&disagree));
+    }
+
+    #[test]
+    fn consensus_validity() {
+        let t = consensus_task(1, &[0, 1]);
+        // Same inputs: only that value may be decided.
+        let omega = assignment_facet(1, 2, &[1, 1]);
+        let allowed = t.allowed(&omega);
+        assert_eq!(allowed.count_of_dim(1), 1);
+        let both_one = Simplex::new([
+            pseudosphere_vertex(0, 1, 2),
+            pseudosphere_vertex(1, 1, 2),
+        ]);
+        assert!(allowed.contains(&both_one));
+    }
+
+    #[test]
+    fn consensus_output_complex_is_disconnected() {
+        // The heart of the impossibility: O restricted to full agreement
+        // has one component per value.
+        let t = consensus_task(1, &[0, 1]);
+        let omega = assignment_facet(1, 2, &[0, 1]);
+        let allowed = t.allowed(&omega);
+        assert_eq!(allowed.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn two_set_agreement_allows_two_values() {
+        let t = set_agreement_task(2, &[0, 1, 2], 2);
+        let omega = assignment_facet(2, 3, &[0, 1, 2]);
+        let allowed = t.allowed(&omega);
+        let two_vals = Simplex::new([
+            pseudosphere_vertex(0, 0, 3),
+            pseudosphere_vertex(1, 1, 3),
+            pseudosphere_vertex(2, 0, 3),
+        ]);
+        assert!(allowed.contains(&two_vals));
+        let three_vals = Simplex::new([
+            pseudosphere_vertex(0, 0, 3),
+            pseudosphere_vertex(1, 1, 3),
+            pseudosphere_vertex(2, 2, 3),
+        ]);
+        assert!(!allowed.contains(&three_vals));
+    }
+
+    #[test]
+    fn output_check_integrates_with_task() {
+        let t = consensus_task(1, &[0, 1]);
+        let omega = assignment_facet(1, 2, &[0, 1]);
+        let ok: HashMap<ProcessId, VertexId> = [
+            (ProcessId(0), pseudosphere_vertex(0, 1, 2)),
+            (ProcessId(1), pseudosphere_vertex(1, 1, 2)),
+        ]
+        .into_iter()
+        .collect();
+        t.check_outputs(&omega, ProcessSet::full(2), &ok).unwrap();
+        let bad: HashMap<ProcessId, VertexId> = [
+            (ProcessId(0), pseudosphere_vertex(0, 0, 2)),
+            (ProcessId(1), pseudosphere_vertex(1, 1, 2)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(t.check_outputs(&omega, ProcessSet::full(2), &bad).is_err());
+        // Solo participant deciding its own value is fine.
+        let solo: HashMap<ProcessId, VertexId> =
+            [(ProcessId(0), pseudosphere_vertex(0, 0, 2))].into_iter().collect();
+        t.check_outputs(&omega, ProcessSet::singleton(ProcessId(0)), &solo)
+            .unwrap();
+    }
+}

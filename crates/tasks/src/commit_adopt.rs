@@ -1,0 +1,296 @@
+//! Commit–adopt (Gafni 1998, cited in §4.5), implemented as an IIS
+//! protocol.
+//!
+//! Commit–adopt is the agreement primitive the paper invokes to solve the
+//! total order task in `OF_fast` (§4.5). Each process proposes a value and,
+//! after two immediate snapshots, outputs a pair `(grade, value)` with
+//! `grade ∈ {Commit, Adopt}` such that:
+//!
+//! * **validity** — the output value is some participant's proposal;
+//! * **agreement** — if any process commits `v`, every output value is `v`;
+//! * **convergence** — if all proposals are equal, everyone commits.
+//!
+//! The implementation is the classical two-round one: round 1 determines a
+//! candidate (`saw only my own proposal` → candidate stays, else adopt the
+//! minimum seen); round 2 grades it (`everyone I saw had the same
+//! first-round experience and candidate` → commit).
+
+use std::collections::HashMap;
+
+use gact_iis::view::{ViewArena, ViewId, ViewNode};
+use gact_iis::{Protocol, StepContext};
+
+/// The grade of a commit–adopt output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Grade {
+    /// Everyone is guaranteed to output this value.
+    Commit,
+    /// Fallback: carry this value to the next instance.
+    Adopt,
+}
+
+/// Output of one commit–adopt instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaOutput {
+    /// Commit or adopt.
+    pub grade: Grade,
+    /// The value (a proposal of some participant).
+    pub value: u32,
+}
+
+/// The two-round commit–adopt protocol over IIS. Proposals are the input
+/// values of the [`gact_iis::InputAssignment`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommitAdopt;
+
+/// First-round summary of a process, reconstructed from its round-2 view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Round1Summary {
+    /// Whether every proposal it saw in round 1 equals its own (the "true"
+    /// preference flag of the classical algorithm).
+    unanimous: bool,
+    /// Its candidate after round 1 (own proposal if unanimous, else the
+    /// minimum seen).
+    candidate: u32,
+}
+
+fn leaf_value(arena: &ViewArena, view: ViewId) -> u32 {
+    match arena.node(view) {
+        ViewNode::Input { value, .. } => *value,
+        ViewNode::Snap(_) => panic!("expected an input leaf"),
+    }
+}
+
+/// Interprets a round-1 view `{(q, leaf_q)}` into a summary.
+fn summarize_round1(arena: &ViewArena, own: gact_iis::ProcessId, view: ViewId) -> Round1Summary {
+    let ViewNode::Snap(entries) = arena.node(view) else {
+        panic!("round-1 view must be a snapshot");
+    };
+    let proposals: Vec<u32> = entries.iter().map(|&(_, v)| leaf_value(arena, v)).collect();
+    let own_proposal = entries
+        .iter()
+        .find(|(q, _)| *q == own)
+        .map(|&(_, v)| leaf_value(arena, v))
+        .expect("self-inclusion");
+    let unanimous = proposals.iter().all(|&v| v == own_proposal);
+    let candidate = if unanimous {
+        own_proposal
+    } else {
+        *proposals.iter().min().expect("non-empty snapshot")
+    };
+    Round1Summary {
+        unanimous,
+        candidate,
+    }
+}
+
+impl Protocol for CommitAdopt {
+    type Output = CaOutput;
+
+    fn decide(&self, ctx: &StepContext<'_>) -> Option<CaOutput> {
+        if ctx.round < 2 {
+            return None;
+        }
+        // ctx.view is the round-2 snapshot: entries are (q, round-1 view).
+        // For rounds > 2 the structure nests further; we freeze the
+        // decision made at round 2 by unwinding to the round-2 view.
+        let mut view = ctx.view;
+        for _ in 2..ctx.round {
+            // Our own round-(k) view contains our round-(k−1) view; unwind.
+            let ViewNode::Snap(entries) = ctx.arena.node(view) else {
+                panic!("nested view expected");
+            };
+            view = entries
+                .iter()
+                .find(|(q, _)| *q == ctx.pid)
+                .map(|&(_, v)| v)
+                .expect("self-inclusion");
+        }
+        let ViewNode::Snap(entries) = ctx.arena.node(view) else {
+            panic!("round-2 view must be a snapshot");
+        };
+        let summaries: Vec<Round1Summary> = entries
+            .iter()
+            .map(|&(q, v)| summarize_round1(ctx.arena, q, v))
+            .collect();
+        let mine = entries
+            .iter()
+            .position(|(q, _)| *q == ctx.pid)
+            .expect("self-inclusion");
+        let my_candidate = summaries[mine].candidate;
+        // Commit iff every preference seen is a "true" (unanimous-round-1)
+        // preference for my candidate. IS containment in round 1 makes any
+        // two true preferences agree, which gives the agreement property.
+        if summaries
+            .iter()
+            .all(|s| s.unanimous && s.candidate == my_candidate)
+        {
+            return Some(CaOutput {
+                grade: Grade::Commit,
+                value: my_candidate,
+            });
+        }
+        // Adopt: prefer a true preference's value (a possibly committed
+        // value — all true preferences carry the same one), else the
+        // minimum candidate seen.
+        let true_pref = summaries
+            .iter()
+            .filter(|s| s.unanimous)
+            .map(|s| s.candidate)
+            .min();
+        let fallback = summaries.iter().map(|s| s.candidate).min().expect("non-empty");
+        Some(CaOutput {
+            grade: Grade::Adopt,
+            value: true_pref.unwrap_or(fallback),
+        })
+    }
+}
+
+/// Checks the three commit–adopt properties on a finished execution.
+///
+/// `proposals` maps each participant to its proposal. Returns the list of
+/// violated properties (empty = correct).
+pub fn check_commit_adopt(
+    proposals: &HashMap<gact_iis::ProcessId, u32>,
+    outputs: &HashMap<gact_iis::ProcessId, CaOutput>,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let proposed: Vec<u32> = proposals.values().copied().collect();
+    for (p, out) in outputs {
+        if !proposed.contains(&out.value) {
+            violations.push(format!("validity: {p} output non-proposed value {}", out.value));
+        }
+    }
+    let committed: Vec<u32> = outputs
+        .values()
+        .filter(|o| o.grade == Grade::Commit)
+        .map(|o| o.value)
+        .collect();
+    if let Some(&v) = committed.first() {
+        for (p, out) in outputs {
+            if out.value != v {
+                violations.push(format!(
+                    "agreement: {v} committed but {p} output {}",
+                    out.value
+                ));
+            }
+        }
+    }
+    let all_equal = proposals.values().collect::<std::collections::BTreeSet<_>>().len() == 1;
+    if all_equal {
+        for (p, out) in outputs {
+            if out.grade != Grade::Commit {
+                violations.push(format!("convergence: unanimous input but {p} only adopted"));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_iis::{execute, InputAssignment, ProcessId, ProcessSet, Round};
+    use gact_topology::Simplex;
+
+    fn input_with_values(values: &[u32]) -> InputAssignment {
+        let mut ia = InputAssignment::standard_corners(values.len() - 1);
+        for (i, &v) in values.iter().enumerate() {
+            ia.values.insert(ProcessId(i as u8), v);
+        }
+        ia
+    }
+
+    fn all_two_round_schedules(n_procs: usize) -> Vec<Vec<Round>> {
+        let full = ProcessSet::full(n_procs);
+        let mut out = Vec::new();
+        for r1 in Round::enumerate(full) {
+            // Round 2 participants can shrink.
+            for s2 in r1.participants().nonempty_subsets() {
+                for r2 in Round::enumerate(s2) {
+                    out.push(vec![r1.clone(), r2.clone()]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exhaustive_two_processes() {
+        for values in [[5u32, 5], [5, 9], [9, 5]] {
+            let ia = input_with_values(&values);
+            for schedule in all_two_round_schedules(2) {
+                let exec = execute(&CommitAdopt, &ia, schedule.clone(), 10);
+                assert!(exec.violations.is_empty());
+                let proposals: HashMap<ProcessId, u32> = schedule[0]
+                    .participants()
+                    .iter()
+                    .map(|p| (p, values[p.0 as usize]))
+                    .collect();
+                let outputs: HashMap<ProcessId, CaOutput> = exec
+                    .outputs
+                    .iter()
+                    .map(|(p, d)| (*p, d.value))
+                    .collect();
+                let violations = check_commit_adopt(&proposals, &outputs);
+                assert!(
+                    violations.is_empty(),
+                    "CA violated for values {values:?}, schedule {schedule:?}: {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_three_processes() {
+        for values in [[1u32, 1, 1], [1, 2, 3], [2, 2, 7], [7, 2, 2]] {
+            let ia = input_with_values(&values);
+            for schedule in all_two_round_schedules(3) {
+                let exec = execute(&CommitAdopt, &ia, schedule.clone(), 10);
+                assert!(exec.violations.is_empty());
+                let proposals: HashMap<ProcessId, u32> = schedule[0]
+                    .participants()
+                    .iter()
+                    .map(|p| (p, values[p.0 as usize]))
+                    .collect();
+                let outputs: HashMap<ProcessId, CaOutput> = exec
+                    .outputs
+                    .iter()
+                    .map(|(p, d)| (*p, d.value))
+                    .collect();
+                let violations = check_commit_adopt(&proposals, &outputs);
+                assert!(
+                    violations.is_empty(),
+                    "CA violated for values {values:?}, schedule {schedule:?}: {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_process_commits() {
+        let ia = input_with_values(&[4, 8]);
+        let schedule = vec![Round::solo(ProcessId(0)), Round::solo(ProcessId(0))];
+        let exec = execute(&CommitAdopt, &ia, schedule, 10);
+        assert_eq!(
+            exec.outputs[&ProcessId(0)].value,
+            CaOutput {
+                grade: Grade::Commit,
+                value: 4
+            }
+        );
+    }
+
+    #[test]
+    fn always_ahead_leader_commits_and_follower_adopts_its_value() {
+        // The §4.5 obstruction-free scenario: p0 forever solo-ahead.
+        let ia = input_with_values(&[4, 8]);
+        let round = Round::from_blocks([vec![ProcessId(0)], vec![ProcessId(1)]]).unwrap();
+        let exec = execute(&CommitAdopt, &ia, vec![round; 4], 10);
+        assert_eq!(exec.outputs[&ProcessId(0)].value.grade, Grade::Commit);
+        assert_eq!(exec.outputs[&ProcessId(0)].value.value, 4);
+        // p1 saw p0's solo round-1: must adopt 4 by agreement.
+        assert_eq!(exec.outputs[&ProcessId(1)].value.value, 4);
+        let _ = Simplex::vertex(gact_topology::VertexId(0));
+    }
+}

@@ -1,0 +1,33 @@
+//! # gact-tasks
+//!
+//! The task formalism of the GACT paper (§4) and a library of concrete
+//! tasks:
+//!
+//! * [`Task`] — tasks `T = (I, O, Δ)` with validation and the
+//!   output-compliance check of Definition 4.1(2);
+//! * [`affine`] — affine tasks `(s, L, Δ)` over `L ⊆ Chr^k s` (§4.2),
+//!   including the total order task `L_ord` and the `t`-resiliently
+//!   solvable family `L_t` of §9.2;
+//! * [`classic`] — consensus and `k`-set agreement over pseudospheres;
+//! * [`commit_adopt`] — the commit–adopt primitive of §4.5 as an
+//!   executable IIS protocol with property checks.
+//!
+//! ## Example
+//!
+//! ```
+//! use gact_tasks::affine::total_order_task;
+//!
+//! // §4.2: six total-order simplices for three processes.
+//! let t = total_order_task(2);
+//! assert_eq!(t.selected.count_of_dim(2), 6);
+//! ```
+
+pub mod affine;
+pub mod classic;
+pub mod commit_adopt;
+pub mod task;
+
+pub use affine::{affine_task, full_subdivision_task, lt_task, total_order_task, AffineTask};
+pub use classic::{consensus_task, pseudosphere, set_agreement_task};
+pub use commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
+pub use task::{OutputViolation, Task, TaskError};

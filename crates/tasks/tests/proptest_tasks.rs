@@ -1,0 +1,123 @@
+//! Property-based tests for tasks: carrier-map laws on set agreement,
+//! affine-task face restrictions, and commit–adopt under random schedules.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use gact_iis::{execute, InputAssignment, ProcessId, Round};
+use gact_tasks::affine::lt_task;
+use gact_tasks::classic::{assignment_facet, decode_outputs, set_agreement_task};
+use gact_tasks::commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt};
+use gact_topology::Simplex;
+
+/// Strategy: a round over the given participants (block-index encoding).
+fn arb_round(participants: Vec<u8>) -> impl Strategy<Value = Round> {
+    let n = participants.len();
+    proptest::collection::vec(0usize..n.max(1), n).prop_map(move |block_idx| {
+        let mut blocks: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+        for (p, &b) in participants.iter().zip(&block_idx) {
+            blocks[b.min(n - 1)].push(ProcessId(*p));
+        }
+        Round::from_blocks(blocks.into_iter().filter(|b| !b.is_empty()))
+            .expect("valid partition")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_agreement_delta_laws(
+        inputs in proptest::collection::vec(0usize..3, 3),
+        k in 1usize..=3,
+    ) {
+        let task = set_agreement_task(2, &[0, 1, 2], k);
+        let omega = assignment_facet(2, 3, &inputs);
+        let allowed = task.allowed(&omega);
+        // Every allowed facet decides at most k distinct values, all drawn
+        // from the inputs.
+        for facet in allowed.iter_dim(2) {
+            let vals: std::collections::BTreeSet<usize> = facet
+                .iter()
+                .map(|v| gact_tasks::classic::decode_pseudosphere_vertex(v, 3).1)
+                .collect();
+            prop_assert!(vals.len() <= k);
+            for v in vals {
+                prop_assert!(inputs.contains(&v));
+            }
+        }
+        // Monotonicity on faces of ω.
+        for face in omega.faces() {
+            prop_assert!(task.allowed(&face).is_subcomplex_of(&allowed));
+        }
+    }
+
+    #[test]
+    fn commit_adopt_random_inputs_and_schedules(
+        values in proptest::collection::vec(0u32..4, 3),
+        r1 in arb_round(vec![0, 1, 2]),
+        r2 in arb_round(vec![0, 1, 2]),
+    ) {
+        let mut ia = InputAssignment::standard_corners(2);
+        for (i, &v) in values.iter().enumerate() {
+            ia.values.insert(ProcessId(i as u8), v);
+        }
+        let exec = execute(&CommitAdopt, &ia, [r1.clone(), r2], 4);
+        prop_assert!(exec.violations.is_empty());
+        let proposals: HashMap<ProcessId, u32> = r1
+            .participants()
+            .iter()
+            .map(|p| (p, values[p.0 as usize]))
+            .collect();
+        let outputs: HashMap<ProcessId, CaOutput> = exec
+            .outputs
+            .iter()
+            .map(|(p, d)| (*p, d.value))
+            .collect();
+        let violations = check_commit_adopt(&proposals, &outputs);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn lt_face_images_are_restrictions(t in 1usize..=2) {
+        let at = lt_task(2, t);
+        let full = Simplex::from_iter([0u32, 1, 2]);
+        let all = at.task.allowed(&full);
+        for face in full.faces() {
+            let img = at.task.allowed(&face);
+            prop_assert!(img.is_subcomplex_of(&all));
+            // Every simplex of the image is carried inside the face.
+            for s in img.iter() {
+                prop_assert!(at.ambient.simplex_carrier(s).is_face_of(&face));
+            }
+        }
+    }
+
+    #[test]
+    fn output_checker_accepts_delta_members(
+        inputs in proptest::collection::vec(0usize..2, 3),
+    ) {
+        // Sample an allowed output facet and check the checker accepts
+        // every sub-simplex of it.
+        let task = set_agreement_task(2, &[0, 1], 2);
+        let omega = assignment_facet(2, 2, &inputs);
+        let allowed = task.allowed(&omega);
+        let Some(facet) = allowed.iter_dim(2).next() else {
+            return Ok(());
+        };
+        for sub in facet.faces() {
+            let outputs: HashMap<ProcessId, gact_topology::VertexId> = sub
+                .iter()
+                .map(|v| {
+                    let (p, _) = gact_tasks::classic::decode_pseudosphere_vertex(v, 2);
+                    (ProcessId(p as u8), v)
+                })
+                .collect();
+            let parts = gact_iis::ProcessSet::full(3);
+            prop_assert!(task.check_outputs(&omega, parts, &outputs).is_ok());
+            let decoded = decode_outputs(&outputs, 2);
+            prop_assert!(decoded.len() == sub.card());
+        }
+    }
+}

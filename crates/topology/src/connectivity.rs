@@ -1,0 +1,139 @@
+//! `k`-connectivity checks (§3.1) with explicit certainty qualifiers.
+//!
+//! True `k`-connectivity ("every map of an `m`-sphere extends over the
+//! `(m+1)`-disk for `m ≤ k`") is algorithmically hard in general. The paper
+//! only ever needs small `k`:
+//!
+//! * `k = −2` or lower — vacuous;
+//! * `k = −1` — non-emptiness;
+//! * `k = 0`  — path-connectivity (exact, via components);
+//! * `k ≥ 1`  — we report the homological criterion (reduced GF(2) Betti
+//!   numbers vanish in degrees `≤ k`), which is necessary, and sufficient
+//!   for simply-connected complexes by the Hurewicz theorem.
+//!
+//! Link-connectivity (Def. 8.3) of the complexes the paper exercises only
+//! needs `k ≤ 0`, so every verdict used by the reproduction is exact.
+
+use crate::complex::Complex;
+use crate::homology::reduced_betti_numbers;
+
+/// Outcome of a connectivity check, qualified by how it was decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Decided exactly (the query reduces to emptiness/components).
+    Exact(bool),
+    /// Decided via vanishing of reduced GF(2) homology: a *necessary*
+    /// condition for k-connectivity, sufficient when the complex is simply
+    /// connected.
+    HomologyProxy(bool),
+}
+
+impl Verdict {
+    /// The boolean value of the verdict, discarding the qualifier.
+    pub fn holds(self) -> bool {
+        match self {
+            Verdict::Exact(b) | Verdict::HomologyProxy(b) => b,
+        }
+    }
+
+    /// Whether the verdict was decided exactly.
+    pub fn is_exact(self) -> bool {
+        matches!(self, Verdict::Exact(_))
+    }
+}
+
+/// Checks `k`-connectivity of `c` per the scheme in the module docs.
+///
+/// `k` is a signed integer because the paper routinely uses
+/// `(n − dim σ − 2)`-connectivity, which can be `−1` (non-empty) or `−2`
+/// (no condition).
+///
+/// ```
+/// use gact_topology::{Complex, Simplex, connectivity::is_k_connected};
+/// let disk = Complex::from_facets([Simplex::from_iter([0u32, 1, 2])]);
+/// assert!(is_k_connected(&disk, 0).holds());
+/// assert!(is_k_connected(&Complex::new(), -2).holds());
+/// assert!(!is_k_connected(&Complex::new(), -1).holds());
+/// ```
+pub fn is_k_connected(c: &Complex, k: i64) -> Verdict {
+    if k <= -2 {
+        return Verdict::Exact(true);
+    }
+    if c.is_empty() {
+        return Verdict::Exact(false);
+    }
+    if k == -1 {
+        return Verdict::Exact(true);
+    }
+    let connected = c.is_connected();
+    if k == 0 {
+        return Verdict::Exact(connected);
+    }
+    if !connected {
+        return Verdict::Exact(false);
+    }
+    // k >= 1: homological proxy.
+    let betti = reduced_betti_numbers(c);
+    let bound = (k as usize).min(betti.len().saturating_sub(1));
+    let ok = betti.iter().take(bound + 1).all(|&b| b == 0);
+    Verdict::HomologyProxy(ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::Simplex;
+
+    fn s(vs: &[u32]) -> Simplex {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn vacuous_and_emptiness_levels() {
+        let empty = Complex::new();
+        assert_eq!(is_k_connected(&empty, -2), Verdict::Exact(true));
+        assert_eq!(is_k_connected(&empty, -1), Verdict::Exact(false));
+        assert_eq!(is_k_connected(&empty, 0), Verdict::Exact(false));
+        let pt = Complex::from_facets([s(&[0])]);
+        assert_eq!(is_k_connected(&pt, -1), Verdict::Exact(true));
+        assert_eq!(is_k_connected(&pt, 0), Verdict::Exact(true));
+    }
+
+    #[test]
+    fn zero_connectivity_is_path_connectivity() {
+        let two = Complex::from_facets([s(&[0]), s(&[1])]);
+        assert_eq!(is_k_connected(&two, 0), Verdict::Exact(false));
+        let edge = Complex::from_facets([s(&[0, 1])]);
+        assert_eq!(is_k_connected(&edge, 0), Verdict::Exact(true));
+    }
+
+    #[test]
+    fn circle_is_not_1_connected() {
+        let circle = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let v = is_k_connected(&circle, 1);
+        assert!(!v.holds());
+        assert!(!v.is_exact());
+    }
+
+    #[test]
+    fn disk_passes_1_connectivity_proxy() {
+        let disk = Complex::from_facets([s(&[0, 1, 2])]);
+        let v = is_k_connected(&disk, 1);
+        assert!(v.holds());
+        assert_eq!(v, Verdict::HomologyProxy(true));
+    }
+
+    #[test]
+    fn sphere_fails_2_connectivity_proxy() {
+        let sphere = Complex::from_facets(Simplex::from_iter([0u32, 1, 2, 3]).boundary_facets());
+        assert!(is_k_connected(&sphere, 1).holds());
+        assert!(!is_k_connected(&sphere, 2).holds());
+    }
+
+    #[test]
+    fn disconnected_fails_any_positive_level_exactly() {
+        let two_edges = Complex::from_facets([s(&[0, 1]), s(&[2, 3])]);
+        let v = is_k_connected(&two_edges, 3);
+        assert_eq!(v, Verdict::Exact(false));
+    }
+}

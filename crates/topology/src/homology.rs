@@ -1,0 +1,223 @@
+//! Simplicial homology over GF(2): boundary matrices, ranks by bitset
+//! Gaussian elimination, and (reduced) Betti numbers.
+//!
+//! Homology is the computational workhorse behind the `k`-connectivity
+//! checks of §3.1/§8.2: vanishing reduced homology in degrees `≤ k` is a
+//! necessary condition for `k`-connectivity (and sufficient together with
+//! simple connectivity, by Hurewicz). See [`crate::connectivity`] for how
+//! the verdicts are qualified.
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+
+/// A dense GF(2) matrix with bit-packed rows.
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Vec<u64>>,
+}
+
+impl BitMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            data: vec![vec![0u64; words]; rows],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets entry `(r, c)` to one.
+    pub fn set(&mut self, r: usize, c: usize) {
+        self.data[r][c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// Reads entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.data[r][c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// Rank over GF(2), by destructive elimination on a copy.
+    pub fn rank(&self) -> usize {
+        let mut rows: Vec<Vec<u64>> = self.data.clone();
+        let mut rank = 0;
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            let word = col / 64;
+            let bit = 1u64 << (col % 64);
+            let Some(found) = (pivot_row..rows.len()).find(|&r| rows[r][word] & bit != 0) else {
+                continue;
+            };
+            rows.swap(pivot_row, found);
+            let pivot = rows[pivot_row].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != pivot_row && row[word] & bit != 0 {
+                    for (w, p) in row.iter_mut().zip(&pivot) {
+                        *w ^= p;
+                    }
+                }
+            }
+            pivot_row += 1;
+            rank += 1;
+            if pivot_row == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+/// The boundary operator `∂_d` of a complex over GF(2): rows are
+/// `(d−1)`-simplices, columns are `d`-simplices.
+pub fn boundary_matrix(c: &Complex, d: usize) -> BitMatrix {
+    let cols_s: Vec<&Simplex> = {
+        let mut v: Vec<&Simplex> = c.iter_dim(d).collect();
+        v.sort();
+        v
+    };
+    if d == 0 {
+        // ∂_0 maps into the trivial group.
+        return BitMatrix::zeros(0, cols_s.len());
+    }
+    let rows_s: Vec<&Simplex> = {
+        let mut v: Vec<&Simplex> = c.iter_dim(d - 1).collect();
+        v.sort();
+        v
+    };
+    let row_of: HashMap<&Simplex, usize> = rows_s.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let mut m = BitMatrix::zeros(rows_s.len(), cols_s.len());
+    for (j, s) in cols_s.iter().enumerate() {
+        for f in s.boundary_facets() {
+            m.set(row_of[&f], j);
+        }
+    }
+    m
+}
+
+/// Betti numbers over GF(2): `β_d = dim ker ∂_d − rank ∂_{d+1}`.
+///
+/// Returns the vector `(β_0, …, β_dim)`. For the empty complex returns an
+/// empty vector.
+pub fn betti_numbers(c: &Complex) -> Vec<usize> {
+    let Some(dim) = c.dim() else {
+        return Vec::new();
+    };
+    let mut ranks = Vec::with_capacity(dim + 2);
+    let mut cols = Vec::with_capacity(dim + 2);
+    for d in 0..=dim + 1 {
+        let m = boundary_matrix(c, d);
+        cols.push(m.cols());
+        ranks.push(m.rank());
+    }
+    (0..=dim)
+        .map(|d| {
+            let kernel = cols[d] - ranks[d];
+            kernel - ranks[d + 1]
+        })
+        .collect()
+}
+
+/// *Reduced* Betti numbers over GF(2): identical to [`betti_numbers`] except
+/// `β̃_0 = β_0 − 1` (the count of components minus one). Degrees above the
+/// dimension are zero and omitted.
+pub fn reduced_betti_numbers(c: &Complex) -> Vec<usize> {
+    let mut b = betti_numbers(c);
+    if let Some(b0) = b.first_mut() {
+        *b0 -= 1; // β_0 ≥ 1 for a non-empty complex
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn bitmatrix_rank_small() {
+        let mut m = BitMatrix::zeros(3, 3);
+        m.set(0, 0);
+        m.set(1, 1);
+        m.set(2, 0);
+        m.set(2, 1);
+        // Row 2 = row 0 + row 1, so rank 2.
+        assert_eq!(m.rank(), 2);
+        assert!(m.get(2, 0) && !m.get(2, 2));
+    }
+
+    #[test]
+    fn betti_of_disk() {
+        let disk = Complex::from_facets([s(&[0, 1, 2])]);
+        assert_eq!(betti_numbers(&disk), vec![1, 0, 0]);
+        assert_eq!(reduced_betti_numbers(&disk), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn betti_of_circle() {
+        let circle = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        assert_eq!(betti_numbers(&circle), vec![1, 1]);
+    }
+
+    #[test]
+    fn betti_of_two_points() {
+        let c = Complex::from_facets([s(&[0]), s(&[1])]);
+        assert_eq!(betti_numbers(&c), vec![2]);
+        assert_eq!(reduced_betti_numbers(&c), vec![1]);
+    }
+
+    #[test]
+    fn betti_of_sphere_boundary_of_tetrahedron() {
+        let tetra = Simplex::from_iter([0u32, 1, 2, 3]);
+        let sphere = Complex::from_facets(tetra.boundary_facets());
+        // S^2 over GF(2): β = (1, 0, 1).
+        assert_eq!(betti_numbers(&sphere), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn betti_of_wedge_of_two_circles() {
+        // Two triangles sharing the vertex 0, both hollow.
+        let c = Complex::from_facets([
+            s(&[0, 1]),
+            s(&[1, 2]),
+            s(&[0, 2]),
+            s(&[0, 3]),
+            s(&[3, 4]),
+            s(&[0, 4]),
+        ]);
+        assert_eq!(betti_numbers(&c), vec![1, 2]);
+    }
+
+    #[test]
+    fn betti_agrees_with_euler_characteristic() {
+        // χ = Σ (−1)^d β_d over any field.
+        for complex in [
+            Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3]), s(&[5, 6])]),
+            Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[7])]),
+        ] {
+            let b = betti_numbers(&complex);
+            let chi: i64 = b
+                .iter()
+                .enumerate()
+                .map(|(d, &x)| if d % 2 == 0 { x as i64 } else { -(x as i64) })
+                .sum();
+            assert_eq!(chi, complex.euler_characteristic());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Integral simplicial homology via Smith normal form.
+//!
+//! The GF(2) homology of [`crate::homology`] is a fast proxy; this module
+//! computes homology over `Z` — Betti numbers *and torsion* — which makes
+//! the `k`-connectivity criterion of §3.1 sharper: a simply-connected
+//! complex is `k`-connected iff `H̃_i(C; Z) = 0` for `i ≤ k` (Hurewicz),
+//! and torsion (invisible to a single field) is decisive for spaces like
+//! the projective plane.
+//!
+//! Boundary matrices use orientation signs over sorted vertex order; ranks
+//! and elementary divisors come from an integer Smith normal form with
+//! pivoting on minimal absolute value (sufficient for the small complexes
+//! of this workspace).
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+
+/// The `d`-th integral homology group, as rank + torsion coefficients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HomologyGroup {
+    /// The free rank (the Betti number over `Q`).
+    pub rank: usize,
+    /// Torsion coefficients `> 1`, each dividing the next.
+    pub torsion: Vec<u64>,
+}
+
+impl HomologyGroup {
+    /// The trivial group.
+    pub fn zero() -> Self {
+        HomologyGroup {
+            rank: 0,
+            torsion: Vec::new(),
+        }
+    }
+
+    /// Whether the group is trivial.
+    pub fn is_zero(&self) -> bool {
+        self.rank == 0 && self.torsion.is_empty()
+    }
+}
+
+impl std::fmt::Display for HomologyGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut parts = Vec::new();
+        if self.rank > 0 {
+            parts.push(if self.rank == 1 {
+                "Z".to_string()
+            } else {
+                format!("Z^{}", self.rank)
+            });
+        }
+        for t in &self.torsion {
+            parts.push(format!("Z/{t}"));
+        }
+        write!(f, "{}", parts.join(" ⊕ "))
+    }
+}
+
+/// The signed boundary matrix `∂_d` (rows: `(d−1)`-simplices, columns:
+/// `d`-simplices), entries in `{−1, 0, +1}` with the standard alternating
+/// signs over the sorted vertex order.
+pub fn signed_boundary_matrix(c: &Complex, d: usize) -> Vec<Vec<i64>> {
+    let cols: Vec<&Simplex> = {
+        let mut v: Vec<&Simplex> = c.iter_dim(d).collect();
+        v.sort();
+        v
+    };
+    if d == 0 {
+        return vec![Vec::new(); 0];
+    }
+    let rows: Vec<&Simplex> = {
+        let mut v: Vec<&Simplex> = c.iter_dim(d - 1).collect();
+        v.sort();
+        v
+    };
+    let row_of: HashMap<&Simplex, usize> = rows.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let mut m = vec![vec![0i64; cols.len()]; rows.len()];
+    for (j, s) in cols.iter().enumerate() {
+        for (drop, f) in s.boundary_facets().iter().enumerate() {
+            // boundary_facets drops vertex `drop` (in sorted order):
+            // sign (−1)^drop.
+            let sign = if drop % 2 == 0 { 1 } else { -1 };
+            m[row_of[f]][j] = sign;
+        }
+    }
+    m
+}
+
+/// Smith normal form diagonal of an integer matrix: the elementary
+/// divisors `d_1 | d_2 | …` of the non-zero part.
+///
+/// Classic pivoting on the entry of minimal absolute value; every failed
+/// exact division strictly shrinks the pivot candidate, so the loop
+/// terminates.
+pub fn smith_normal_diagonal(mut m: Vec<Vec<i64>>) -> Vec<i64> {
+    let rows = m.len();
+    let cols = if rows == 0 { 0 } else { m[0].len() };
+    let mut diag = Vec::new();
+    let (mut r0, mut c0) = (0usize, 0usize);
+    'outer: while r0 < rows && c0 < cols {
+        // Pivot: the non-zero entry of minimal absolute value.
+        let mut pivot: Option<(usize, usize)> = None;
+        for i in r0..rows {
+            for j in c0..cols {
+                if m[i][j] != 0
+                    && pivot
+                        .map(|(pi, pj)| m[i][j].abs() < m[pi][pj].abs())
+                        .unwrap_or(true)
+                {
+                    pivot = Some((i, j));
+                }
+            }
+        }
+        let Some((pi, pj)) = pivot else {
+            break;
+        };
+        m.swap(r0, pi);
+        for row in m.iter_mut() {
+            row.swap(c0, pj);
+        }
+        let p = m[r0][c0];
+        // Clear the pivot column with row operations.
+        for i in (r0 + 1)..rows {
+            if m[i][c0] != 0 {
+                let q = m[i][c0].div_euclid(p);
+                for j in c0..cols {
+                    m[i][j] -= q * m[r0][j];
+                }
+                if m[i][c0] != 0 {
+                    // A remainder strictly smaller than |p| appeared:
+                    // re-pivot (termination by descent).
+                    continue 'outer;
+                }
+            }
+        }
+        // Clear the pivot row with column operations (the column below the
+        // pivot is zero now, so other rows are unaffected).
+        for j in (c0 + 1)..cols {
+            if m[r0][j] != 0 {
+                let q = m[r0][j].div_euclid(p);
+                for i in r0..rows {
+                    let sub = q * m[i][c0];
+                    m[i][j] -= sub;
+                }
+                if m[r0][j] != 0 {
+                    continue 'outer;
+                }
+            }
+        }
+        // Divisibility: the pivot must divide the remaining block; mixing
+        // in an offending row creates a smaller remainder.
+        for i in (r0 + 1)..rows {
+            for j in (c0 + 1)..cols {
+                if m[i][j] % p != 0 {
+                    for jj in c0..cols {
+                        let add = m[i][jj];
+                        m[r0][jj] += add;
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+        diag.push(p.abs());
+        r0 += 1;
+        c0 += 1;
+    }
+    diag
+}
+
+/// Integral homology `H_d(C; Z)` for all `0 ≤ d ≤ dim C`.
+pub fn integral_homology(c: &Complex) -> Vec<HomologyGroup> {
+    let Some(dim) = c.dim() else {
+        return Vec::new();
+    };
+    // Rank and divisors of each ∂_d.
+    let mut ranks = vec![0usize; dim + 2];
+    let mut divisors: Vec<Vec<i64>> = vec![Vec::new(); dim + 2];
+    let mut n_cells = vec![0usize; dim + 2];
+    for d in 0..=dim {
+        n_cells[d] = c.count_of_dim(d);
+    }
+    for d in 1..=dim + 1 {
+        if d <= dim {
+            let m = signed_boundary_matrix(c, d);
+            let diag = smith_normal_diagonal(m);
+            ranks[d] = diag.iter().filter(|&&x| x != 0).count();
+            divisors[d] = diag;
+        }
+    }
+    (0..=dim)
+        .map(|d| {
+            let kernel = n_cells[d] - ranks[d]; // rank ∂_d = ranks[d] (∂_0 = 0)
+            let image = ranks[d + 1];
+            let torsion: Vec<u64> = divisors[d + 1]
+                .iter()
+                .filter(|&&x| x > 1)
+                .map(|&x| x as u64)
+                .collect();
+            HomologyGroup {
+                rank: kernel - image,
+                torsion,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn snf_small_matrices() {
+        assert_eq!(smith_normal_diagonal(vec![vec![2, 0], vec![0, 3]]), vec![1, 6]);
+        assert_eq!(smith_normal_diagonal(vec![vec![1, 0], vec![0, 0]]), vec![1]);
+        assert_eq!(
+            smith_normal_diagonal(vec![vec![2, 4], vec![4, 8]]),
+            vec![2]
+        );
+        assert_eq!(smith_normal_diagonal(vec![vec![0, 0], vec![0, 0]]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn boundary_squares_to_zero() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[1, 2, 3])]);
+        let d2 = signed_boundary_matrix(&c, 2);
+        let d1 = signed_boundary_matrix(&c, 1);
+        // d1 * d2 = 0.
+        for j in 0..d2[0].len() {
+            for i in 0..d1.len() {
+                let mut acc = 0i64;
+                for k in 0..d2.len() {
+                    acc += d1[i][k] * d2[k][j];
+                }
+                assert_eq!(acc, 0, "∂∘∂ ≠ 0 at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn homology_of_disk_sphere_circle() {
+        let disk = Complex::from_facets([s(&[0, 1, 2])]);
+        let h = integral_homology(&disk);
+        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
+        assert!(h[1].is_zero() && h[2].is_zero());
+
+        let circle = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let h = integral_homology(&circle);
+        assert_eq!(h[1], HomologyGroup { rank: 1, torsion: vec![] });
+
+        let sphere = Complex::from_facets(s(&[0, 1, 2, 3]).boundary_facets());
+        let h = integral_homology(&sphere);
+        assert_eq!(h[0].rank, 1);
+        assert!(h[1].is_zero());
+        assert_eq!(h[2], HomologyGroup { rank: 1, torsion: vec![] });
+    }
+
+    #[test]
+    fn torus_homology() {
+        // The Möbius/Császár 7-vertex triangulation of the torus:
+        // triangles {i, i+1, i+3} and {i, i+2, i+3} over Z_7.
+        let mut facets = Vec::new();
+        for i in 0..7u32 {
+            facets.push(s(&[i, (i + 1) % 7, (i + 3) % 7]));
+            facets.push(s(&[i, (i + 2) % 7, (i + 3) % 7]));
+        }
+        let c = Complex::from_facets(facets);
+        assert_eq!(c.count_of_dim(0), 7);
+        assert_eq!(c.count_of_dim(1), 21);
+        assert_eq!(c.count_of_dim(2), 14);
+        assert_eq!(c.euler_characteristic(), 0);
+        let h = integral_homology(&c);
+        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(h[1], HomologyGroup { rank: 2, torsion: vec![] });
+        assert_eq!(h[2], HomologyGroup { rank: 1, torsion: vec![] });
+    }
+
+    #[test]
+    fn projective_plane_torsion() {
+        // The minimal 6-vertex triangulation of RP² (antipodal quotient of
+        // the icosahedron): H0 = Z, H1 = Z/2, H2 = 0 — the torsion is
+        // invisible to GF(2) Betti numbers alone.
+        let faces: [[u32; 3]; 10] = [
+            [1, 2, 3],
+            [1, 3, 4],
+            [1, 4, 5],
+            [1, 5, 6],
+            [1, 2, 6],
+            [2, 3, 5],
+            [2, 4, 5],
+            [2, 4, 6],
+            [3, 4, 6],
+            [3, 5, 6],
+        ];
+        let c = Complex::from_facets(faces.iter().map(|f| s(f)));
+        assert_eq!(c.euler_characteristic(), 1); // χ(RP²) = 1
+        let h = integral_homology(&c);
+        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(h[1], HomologyGroup { rank: 0, torsion: vec![2] });
+        assert!(h[2].is_zero());
+        // Contrast: over GF(2) the "Betti numbers" of RP² are (1,1,1).
+        use crate::homology::betti_numbers;
+        assert_eq!(betti_numbers(&c), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn integral_matches_gf2_on_torsion_free_complexes() {
+        use crate::homology::betti_numbers;
+        for c in [
+            Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3, 4]), s(&[5, 6])]),
+            Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2]), s(&[3])]),
+        ] {
+            let hz = integral_homology(&c);
+            let b2 = betti_numbers(&c);
+            for (d, h) in hz.iter().enumerate() {
+                assert!(h.torsion.is_empty(), "unexpected torsion");
+                assert_eq!(h.rank, b2[d], "rank mismatch at degree {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(HomologyGroup::zero().to_string(), "0");
+        assert_eq!(
+            HomologyGroup { rank: 2, torsion: vec![2, 4] }.to_string(),
+            "Z^2 ⊕ Z/2 ⊕ Z/4"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Abstract simplices: finite, non-empty sets of vertex identifiers.
+//!
+//! A simplex is stored as a strictly increasing vector of [`VertexId`]s, so
+//! equality, hashing and face relations are all structural. The *dimension*
+//! of a simplex is its cardinality minus one (paper, §3.1).
+
+use std::fmt;
+
+/// Identifier of a vertex inside a [`crate::Complex`].
+///
+/// Vertex ids are plain indices; the complexes in this workspace allocate
+/// them densely starting from zero, but nothing in this module requires that.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+/// A finite, non-empty set of vertices, stored sorted and deduplicated.
+///
+/// ```
+/// use gact_topology::{Simplex, VertexId};
+/// let s = Simplex::from_iter([2u32, 0, 1, 2]);
+/// assert_eq!(s.dim(), 2);
+/// assert!(s.contains(VertexId(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Simplex(Vec<VertexId>);
+
+impl fmt::Debug for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Simplex {
+    /// Builds a simplex from any collection of vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection is empty: the empty simplex is not part of
+    /// the paper's definition of a simplicial complex (§3.1).
+    pub fn new<I: IntoIterator<Item = VertexId>>(vertices: I) -> Self {
+        let mut vs: Vec<VertexId> = vertices.into_iter().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        assert!(!vs.is_empty(), "a simplex must have at least one vertex");
+        Simplex(vs)
+    }
+
+    /// The 0-dimensional simplex on a single vertex.
+    pub fn vertex(v: VertexId) -> Self {
+        Simplex(vec![v])
+    }
+
+    /// Dimension: cardinality minus one.
+    pub fn dim(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// Number of vertices.
+    pub fn card(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The vertices, in strictly increasing order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.0
+    }
+
+    /// Iterates over the vertices.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Whether `v` is a vertex of this simplex.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// Whether `self ⊆ other` as vertex sets.
+    pub fn is_face_of(&self, other: &Simplex) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        // Merge scan over two sorted vectors.
+        let mut it = other.0.iter();
+        'outer: for v in &self.0 {
+            for w in it.by_ref() {
+                if w == v {
+                    continue 'outer;
+                }
+                if w > v {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self` is a *proper* face of `other`.
+    pub fn is_proper_face_of(&self, other: &Simplex) -> bool {
+        self.0.len() < other.0.len() && self.is_face_of(other)
+    }
+
+    /// All non-empty faces (subsets), including `self`. There are
+    /// `2^card − 1` of them.
+    pub fn faces(&self) -> Vec<Simplex> {
+        let k = self.0.len();
+        assert!(k <= 28, "face enumeration only supported for small simplices");
+        let mut out = Vec::with_capacity((1usize << k) - 1);
+        for mask in 1u32..(1u32 << k) {
+            let mut vs = Vec::with_capacity(mask.count_ones() as usize);
+            for (i, v) in self.0.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    vs.push(*v);
+                }
+            }
+            out.push(Simplex(vs));
+        }
+        out
+    }
+
+    /// The codimension-1 faces (each obtained by dropping one vertex).
+    /// Empty for a 0-dimensional simplex.
+    pub fn boundary_facets(&self) -> Vec<Simplex> {
+        if self.0.len() == 1 {
+            return Vec::new();
+        }
+        (0..self.0.len())
+            .map(|i| {
+                let mut vs = self.0.clone();
+                vs.remove(i);
+                Simplex(vs)
+            })
+            .collect()
+    }
+
+    /// Set union of the vertex sets.
+    pub fn union(&self, other: &Simplex) -> Simplex {
+        let mut vs = self.0.clone();
+        vs.extend_from_slice(&other.0);
+        Simplex::new(vs)
+    }
+
+    /// Set intersection of the vertex sets; `None` if disjoint.
+    pub fn intersection(&self, other: &Simplex) -> Option<Simplex> {
+        let vs: Vec<VertexId> = self
+            .0
+            .iter()
+            .copied()
+            .filter(|v| other.contains(*v))
+            .collect();
+        if vs.is_empty() {
+            None
+        } else {
+            Some(Simplex(vs))
+        }
+    }
+
+    /// Removes the vertices of `other` from `self`; `None` if nothing is
+    /// left.
+    pub fn difference(&self, other: &Simplex) -> Option<Simplex> {
+        let vs: Vec<VertexId> = self
+            .0
+            .iter()
+            .copied()
+            .filter(|v| !other.contains(*v))
+            .collect();
+        if vs.is_empty() {
+            None
+        } else {
+            Some(Simplex(vs))
+        }
+    }
+
+    /// Whether the two simplices share no vertex.
+    pub fn is_disjoint_from(&self, other: &Simplex) -> bool {
+        self.intersection(other).is_none()
+    }
+}
+
+impl FromIterator<u32> for Simplex {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Simplex::new(iter.into_iter().map(VertexId))
+    }
+}
+
+impl FromIterator<VertexId> for Simplex {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        Simplex::new(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Simplex {
+    type Item = VertexId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, VertexId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vs: &[u32]) -> Simplex {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let a = s(&[3, 1, 2, 1]);
+        assert_eq!(a.vertices(), &[VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(a.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_simplex_panics() {
+        let _ = Simplex::new(Vec::new());
+    }
+
+    #[test]
+    fn face_relation() {
+        let t = s(&[0, 1, 2]);
+        assert!(s(&[0]).is_face_of(&t));
+        assert!(s(&[0, 2]).is_face_of(&t));
+        assert!(t.is_face_of(&t));
+        assert!(!t.is_proper_face_of(&t));
+        assert!(s(&[0, 2]).is_proper_face_of(&t));
+        assert!(!s(&[0, 3]).is_face_of(&t));
+        assert!(!s(&[3]).is_face_of(&t));
+    }
+
+    #[test]
+    fn face_enumeration_counts() {
+        let t = s(&[0, 1, 2]);
+        let faces = t.faces();
+        assert_eq!(faces.len(), 7);
+        assert_eq!(faces.iter().filter(|f| f.dim() == 0).count(), 3);
+        assert_eq!(faces.iter().filter(|f| f.dim() == 1).count(), 3);
+        assert_eq!(faces.iter().filter(|f| f.dim() == 2).count(), 1);
+        for f in &faces {
+            assert!(f.is_face_of(&t));
+        }
+    }
+
+    #[test]
+    fn boundary_facets_drop_one_vertex() {
+        let t = s(&[0, 1, 2]);
+        let b = t.boundary_facets();
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&s(&[0, 1])));
+        assert!(b.contains(&s(&[0, 2])));
+        assert!(b.contains(&s(&[1, 2])));
+        assert!(s(&[5]).boundary_facets().is_empty());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = s(&[0, 1]);
+        let b = s(&[1, 2]);
+        assert_eq!(a.union(&b), s(&[0, 1, 2]));
+        assert_eq!(a.intersection(&b), Some(s(&[1])));
+        assert_eq!(a.difference(&b), Some(s(&[0])));
+        assert_eq!(a.intersection(&s(&[2, 3])), None);
+        assert!(a.is_disjoint_from(&s(&[2, 3])));
+        assert!(!a.is_disjoint_from(&b));
+    }
+}

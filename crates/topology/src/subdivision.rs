@@ -1,0 +1,221 @@
+//! Barycentric subdivision (paper §3.1) with carrier tracking and geometry
+//! propagation.
+//!
+//! The *chromatic* subdivision used throughout the paper lives in
+//! `gact-chromatic`; the barycentric one here is the classical tool behind
+//! the simplicial approximation theorem (§8.1) and doubles as a reference
+//! implementation for testing subdivision invariants.
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::geometry::Geometry;
+use crate::simplex::{Simplex, VertexId};
+
+/// Result of one subdivision step: the subdivided complex, carriers mapping
+/// each new vertex to the smallest original simplex whose realization
+/// contains it, and (optionally) propagated geometry.
+#[derive(Clone, Debug)]
+pub struct Subdivision {
+    /// The subdivided complex.
+    pub complex: Complex,
+    /// For each new vertex, the *carrier*: the original simplex in whose
+    /// (relative) interior the vertex sits.
+    pub vertex_carrier: HashMap<VertexId, Simplex>,
+    /// Geometry of the subdivided complex, when the input had geometry.
+    pub geometry: Option<Geometry>,
+}
+
+impl Subdivision {
+    /// Carrier of a subdivided simplex: the union of its vertices' carriers
+    /// — the smallest original simplex containing its realization.
+    pub fn simplex_carrier(&self, s: &Simplex) -> Simplex {
+        let mut it = s.iter();
+        let mut acc = self.vertex_carrier[&it.next().expect("non-empty")].clone();
+        for v in it {
+            acc = acc.union(&self.vertex_carrier[&v]);
+        }
+        acc
+    }
+}
+
+/// Barycentric subdivision `Bary(C)`.
+///
+/// Vertices of the subdivision are the simplices of `C` (realized at their
+/// barycenters); its simplices are the chains `σ_0 ⊊ σ_1 ⊊ …` of simplices
+/// of `C` (paper §3.1).
+///
+/// New vertex ids are allocated densely from 0 in an unspecified but
+/// deterministic order; use [`Subdivision::vertex_carrier`] to relate them
+/// to the original complex.
+pub fn barycentric(c: &Complex, geometry: Option<&Geometry>) -> Subdivision {
+    // Deterministic vertex numbering: sort the simplices of C.
+    let mut all: Vec<Simplex> = c.iter().cloned().collect();
+    all.sort_by(|a, b| a.card().cmp(&b.card()).then_with(|| a.cmp(b)));
+    let id_of: HashMap<Simplex, VertexId> = all
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), VertexId(i as u32)))
+        .collect();
+
+    let mut vertex_carrier = HashMap::new();
+    let mut geom = geometry.map(|g| Geometry::new(g.ambient_dim()));
+    for s in &all {
+        let id = id_of[s];
+        vertex_carrier.insert(id, s.clone());
+        if let (Some(ng), Some(g)) = (geom.as_mut(), geometry) {
+            ng.set(id, g.barycenter(s));
+        }
+    }
+
+    // Facets of Bary(C): maximal chains under inclusion. Enumerate chains by
+    // recursion from each simplex downwards.
+    let mut facets: Vec<Simplex> = Vec::new();
+    for top in c.facets() {
+        let mut chain: Vec<Simplex> = vec![top.clone()];
+        extend_chains(&mut chain, &mut facets, &id_of);
+    }
+
+    Subdivision {
+        complex: Complex::from_facets(facets),
+        vertex_carrier,
+        geometry: geom,
+    }
+}
+
+fn extend_chains(
+    chain: &mut Vec<Simplex>,
+    out: &mut Vec<Simplex>,
+    id_of: &HashMap<Simplex, VertexId>,
+) {
+    let last = chain.last().expect("chain non-empty").clone();
+    if last.card() == 1 {
+        out.push(Simplex::new(chain.iter().map(|s| id_of[s])));
+        return;
+    }
+    for f in last.boundary_facets() {
+        chain.push(f);
+        extend_chains(chain, out, id_of);
+        chain.pop();
+    }
+}
+
+/// Iterated barycentric subdivision `Bary^k(C)`, composing carriers back to
+/// the original complex.
+pub fn barycentric_iter(c: &Complex, geometry: Option<&Geometry>, k: usize) -> Subdivision {
+    let mut current = Subdivision {
+        complex: c.clone(),
+        vertex_carrier: c
+            .vertex_set()
+            .into_iter()
+            .map(|v| (v, Simplex::vertex(v)))
+            .collect(),
+        geometry: geometry.cloned(),
+    };
+    for _ in 0..k {
+        let next = barycentric(&current.complex, current.geometry.as_ref());
+        // Compose carriers: a new vertex's carrier is a simplex of the
+        // previous stage; push it through the previous carrier map.
+        let vertex_carrier = next
+            .vertex_carrier
+            .iter()
+            .map(|(v, prev_simplex)| {
+                let mut it = prev_simplex.iter();
+                let mut acc = current.vertex_carrier[&it.next().expect("non-empty")].clone();
+                for w in it {
+                    acc = acc.union(&current.vertex_carrier[&w]);
+                }
+                (*v, acc)
+            })
+            .collect();
+        current = Subdivision {
+            complex: next.complex,
+            vertex_carrier,
+            geometry: next.geometry,
+        };
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::standard_simplex_geometry;
+
+    fn s(vs: &[u32]) -> Simplex {
+        Simplex::from_iter(vs.iter().copied())
+    }
+
+    #[test]
+    fn barycentric_of_edge() {
+        let c = Complex::from_facets([s(&[0, 1])]);
+        let sd = barycentric(&c, None);
+        // 3 vertices (two endpoints + midpoint), 2 edges.
+        assert_eq!(sd.complex.count_of_dim(0), 3);
+        assert_eq!(sd.complex.count_of_dim(1), 2);
+    }
+
+    #[test]
+    fn barycentric_of_triangle_counts() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let sd = barycentric(&c, Some(&standard_simplex_geometry(2)));
+        // Classical counts: 7 vertices, 12 edges, 6 triangles.
+        assert_eq!(sd.complex.count_of_dim(0), 7);
+        assert_eq!(sd.complex.count_of_dim(1), 12);
+        assert_eq!(sd.complex.count_of_dim(2), 6);
+        assert!(sd.complex.is_pure_of_dim(2));
+        // Euler characteristic preserved (disk).
+        assert_eq!(sd.complex.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn carriers_are_consistent_with_geometry() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let g = standard_simplex_geometry(2);
+        let sd = barycentric(&c, Some(&g));
+        let ng = sd.geometry.as_ref().unwrap();
+        for (v, carrier) in &sd.vertex_carrier {
+            // The vertex must sit inside the realization of its carrier and
+            // of no proper face of it.
+            assert!(g.point_in_simplex(ng.coord(*v), carrier));
+            assert_eq!(g.carrier_of_point(ng.coord(*v), &c).as_ref(), Some(carrier));
+        }
+    }
+
+    #[test]
+    fn mesh_shrinks_under_iteration() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let g = standard_simplex_geometry(2);
+        let sd1 = barycentric_iter(&c, Some(&g), 1);
+        let sd2 = barycentric_iter(&c, Some(&g), 2);
+        let m0 = g.mesh(&c);
+        let m1 = sd1.geometry.as_ref().unwrap().mesh(&sd1.complex);
+        let m2 = sd2.geometry.as_ref().unwrap().mesh(&sd2.complex);
+        assert!(m1 < m0);
+        assert!(m2 < m1);
+    }
+
+    #[test]
+    fn iterated_carriers_point_to_original() {
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let g = standard_simplex_geometry(2);
+        let sd = barycentric_iter(&c, Some(&g), 2);
+        for (_, carrier) in sd.vertex_carrier.iter() {
+            assert!(c.contains(carrier));
+        }
+        // Interior vertices exist and carry the full triangle.
+        assert!(sd
+            .vertex_carrier
+            .values()
+            .any(|car| car.card() == 3));
+    }
+
+    #[test]
+    fn facet_count_of_iterated_subdivision() {
+        // Bary^k of an n-simplex has (n+1)!^k top simplices... for n=2:
+        // 6, then 36.
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        let sd2 = barycentric_iter(&c, None, 2);
+        assert_eq!(sd2.complex.count_of_dim(2), 36);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the topology substrate: closure invariants,
+//! facet laws, subdivision conservation, homology vs Euler characteristic.
+
+use proptest::prelude::*;
+
+use gact_topology::connectivity::is_k_connected;
+use gact_topology::homology::betti_numbers;
+use gact_topology::{barycentric, Complex, Simplex, VertexId};
+
+/// Strategy: a random non-empty simplex over vertices 0..8 with ≤ 4
+/// vertices.
+fn arb_simplex() -> impl Strategy<Value = Simplex> {
+    proptest::collection::btree_set(0u32..8, 1..=4)
+        .prop_map(|vs| Simplex::new(vs.into_iter().map(VertexId)))
+}
+
+/// Strategy: a random complex from up to 6 facets.
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    proptest::collection::vec(arb_simplex(), 1..=6).prop_map(Complex::from_facets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closure_under_faces(c in arb_complex()) {
+        for s in c.iter() {
+            for f in s.faces() {
+                prop_assert!(c.contains(&f), "face {f:?} of {s:?} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn facets_are_maximal_and_generate(c in arb_complex()) {
+        let facets = c.facets();
+        // No facet is a proper face of another simplex.
+        for f in &facets {
+            for s in c.iter() {
+                prop_assert!(!f.is_proper_face_of(s));
+            }
+        }
+        // Facets regenerate the complex.
+        let regen = Complex::from_facets(facets);
+        prop_assert_eq!(&regen, &c);
+    }
+
+    #[test]
+    fn skeleton_monotone(c in arb_complex(), k in 0usize..4) {
+        let sk = c.skeleton(k);
+        prop_assert!(sk.is_subcomplex_of(&c));
+        prop_assert!(sk.dim().unwrap_or(0) <= k);
+        if let Some(d) = c.dim() {
+            if d <= k {
+                prop_assert_eq!(&sk, &c);
+            }
+        }
+    }
+
+    #[test]
+    fn union_intersection_lattice(a in arb_complex(), b in arb_complex()) {
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        prop_assert!(a.is_subcomplex_of(&u));
+        prop_assert!(b.is_subcomplex_of(&u));
+        prop_assert!(i.is_subcomplex_of(&a));
+        prop_assert!(i.is_subcomplex_of(&b));
+        prop_assert_eq!(
+            u.simplex_count() + i.simplex_count(),
+            a.simplex_count() + b.simplex_count()
+        );
+    }
+
+    #[test]
+    fn link_members_complete_to_simplices(c in arb_complex(), s in arb_simplex()) {
+        if c.contains(&s) {
+            let link = c.link(&s);
+            for t in link.iter() {
+                prop_assert!(t.is_disjoint_from(&s));
+                prop_assert!(c.contains(&t.union(&s)));
+            }
+        }
+    }
+
+    #[test]
+    fn euler_characteristic_equals_betti_alternation(c in arb_complex()) {
+        let betti = betti_numbers(&c);
+        let chi: i64 = betti
+            .iter()
+            .enumerate()
+            .map(|(d, &b)| if d % 2 == 0 { b as i64 } else { -(b as i64) })
+            .sum();
+        prop_assert_eq!(chi, c.euler_characteristic());
+    }
+
+    #[test]
+    fn zero_connectivity_matches_components(c in arb_complex()) {
+        let verdict = is_k_connected(&c, 0);
+        prop_assert!(verdict.is_exact());
+        prop_assert_eq!(verdict.holds(), c.connected_components().len() == 1);
+    }
+
+    #[test]
+    fn barycentric_subdivision_conserves_euler(c in arb_complex()) {
+        let sd = barycentric(&c, None);
+        // Subdivision is a homeomorphism: Euler characteristic invariant.
+        prop_assert_eq!(
+            sd.complex.euler_characteristic(),
+            c.euler_characteristic()
+        );
+        // Carriers: every subdivision vertex carries an original simplex.
+        for (_, carrier) in &sd.vertex_carrier {
+            prop_assert!(c.contains(carrier));
+        }
+    }
+
+    #[test]
+    fn barycentric_facet_count(c in arb_complex()) {
+        // #top simplices of Bary = Σ over facets (d+1)! …only for pure
+        // complexes where facets don't share top simplices; in general the
+        // count of maximal chains equals Σ over all top-dim simplices.
+        let sd = barycentric(&c, None);
+        let expected: usize = c
+            .facets()
+            .iter()
+            .map(|f| (1..=f.card()).product::<usize>())
+            .sum();
+        let got = sd
+            .complex
+            .iter()
+            .filter(|s| {
+                // count only chains of maximal length per facet
+                s.card() == c.facets().iter().filter(|f| {
+                    sd.complex.contains(s) && f.card() >= s.card()
+                }).map(|f| f.card()).max().unwrap_or(0)
+            })
+            .count();
+        // Weaker but robust check: the chain count per facet dimension.
+        prop_assert!(got <= expected + sd.complex.simplex_count());
+        let top_chains = sd
+            .complex
+            .iter()
+            .filter(|s| {
+                let m = c.facets().iter().map(|f| f.card()).max().unwrap_or(0);
+                s.card() == m
+            })
+            .count();
+        let top_expected: usize = {
+            let m = c.facets().iter().map(|f| f.card()).max().unwrap_or(0);
+            c.facets()
+                .iter()
+                .filter(|f| f.card() == m)
+                .map(|f| (1..=f.card()).product::<usize>())
+                .sum()
+        };
+        prop_assert_eq!(top_chains, top_expected);
+    }
+
+    #[test]
+    fn simplex_set_algebra(a in arb_simplex(), b in arb_simplex()) {
+        let u = a.union(&b);
+        prop_assert!(a.is_face_of(&u) && b.is_face_of(&u));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.is_face_of(&a) && i.is_face_of(&b));
+            prop_assert_eq!(i.card() + u.card(), a.card() + b.card());
+        } else {
+            prop_assert_eq!(u.card(), a.card() + b.card());
+        }
+    }
+}

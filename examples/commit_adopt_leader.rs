@@ -1,0 +1,113 @@
+//! Commit–adopt in action (§4.5): the primitive behind solving agreement
+//! flavored tasks in `OF_fast`.
+//!
+//! Three demonstrations:
+//!
+//! 1. Exhaustive validation of commit–adopt over every two-round schedule
+//!    of three processes (validity, agreement, convergence).
+//! 2. The `OF_fast` scenario: in a *minimal* obstruction-free run, the one
+//!    fast process runs solo and commits; finitely-participating processes
+//!    need no output — the task is solvable.
+//! 3. The `OF` scenario the paper contrasts (§4.5): the fast leader is
+//!    forever ahead, its trailing observers keep adopting — they converge
+//!    on the leader's value but, racing among themselves, cannot order
+//!    themselves (which is why total order stays unsolvable in `OF`).
+//!
+//! Run with: `cargo run -p gact --example commit_adopt_leader`
+
+use std::collections::HashMap;
+
+use gact_iis::{execute, InputAssignment, ProcessId, ProcessSet, Round, Run};
+use gact_tasks::commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
+
+fn input_with_values(values: &[u32]) -> InputAssignment {
+    let mut ia = InputAssignment::standard_corners(values.len() - 1);
+    for (i, &v) in values.iter().enumerate() {
+        ia.values.insert(ProcessId(i as u8), v);
+    }
+    ia
+}
+
+fn main() {
+    // --- 1. Exhaustive check over all 2-round schedules -----------------
+    let full = ProcessSet::full(3);
+    let mut schedules = Vec::new();
+    for r1 in Round::enumerate(full) {
+        for s2 in r1.participants().nonempty_subsets() {
+            for r2 in Round::enumerate(s2) {
+                schedules.push(vec![r1.clone(), r2]);
+            }
+        }
+    }
+    println!(
+        "Checking commit–adopt on {} schedules × 4 input patterns...",
+        schedules.len()
+    );
+    let mut total = 0usize;
+    for values in [[7u32, 7, 7], [1, 2, 3], [5, 5, 9], [9, 5, 5]] {
+        let ia = input_with_values(&values);
+        for schedule in &schedules {
+            let exec = execute(&CommitAdopt, &ia, schedule.clone(), 4);
+            assert!(exec.violations.is_empty());
+            let proposals: HashMap<ProcessId, u32> = schedule[0]
+                .participants()
+                .iter()
+                .map(|p| (p, values[p.0 as usize]))
+                .collect();
+            let outputs: HashMap<ProcessId, CaOutput> = exec
+                .outputs
+                .iter()
+                .map(|(p, d)| (*p, d.value))
+                .collect();
+            let violations = check_commit_adopt(&proposals, &outputs);
+            assert!(violations.is_empty(), "{violations:?}");
+            total += 1;
+        }
+    }
+    println!("  {total} executions, zero violations (validity, agreement, convergence).");
+
+    // --- 2. OF_fast: the minimal run — solo leader commits --------------
+    println!("\nOF_fast (minimal obstruction-free run): p1 runs solo.");
+    let ia = input_with_values(&[10, 20, 30]);
+    let solo = Run::new(3, [], [Round::solo(ProcessId(1))]).unwrap();
+    let exec = execute(&CommitAdopt, &ia, solo.rounds_prefix(4), 4);
+    let d = &exec.outputs[&ProcessId(1)];
+    println!(
+        "  p1 output {:?} at round {} — the only ∞-participant outputs; task solved.",
+        d.value, d.round
+    );
+    assert_eq!(d.value.grade, Grade::Commit);
+
+    // --- 3. OF: forever-ahead leader, racing observers ------------------
+    println!("\nOF (non-minimal): p0 forever ahead; p1, p2 race behind.");
+    let ahead = Run::new(
+        3,
+        [],
+        [
+            Round::from_blocks([vec![ProcessId(0)], vec![ProcessId(1)], vec![ProcessId(2)]])
+                .unwrap(),
+            Round::from_blocks([vec![ProcessId(0)], vec![ProcessId(2)], vec![ProcessId(1)]])
+                .unwrap(),
+        ],
+    )
+    .unwrap();
+    println!("  fast(r) = {:?} (only the leader)", ahead.fast());
+    let exec = execute(&CommitAdopt, &ia, ahead.rounds_prefix(6), 6);
+    for p in 0..3u8 {
+        let d = &exec.outputs[&ProcessId(p)];
+        println!(
+            "  p{p}: {:?} {:?} at round {}",
+            d.value.grade, d.value.value, d.round
+        );
+    }
+    // Agreement pulled everyone to the leader's value...
+    assert!(exec
+        .outputs
+        .values()
+        .all(|d| d.value.value == 10));
+    // ...but p1 and p2 cannot commit (they keep seeing disagreement-risk),
+    // which is the §4.5 obstruction to solving total order in OF.
+    assert_eq!(exec.outputs[&ProcessId(0)].value.grade, Grade::Commit);
+    println!("  leader committed; followers adopted — safety held, but the");
+    println!("  followers' relative order stays forever unresolved (§4.5).");
+}

@@ -1,0 +1,137 @@
+//! Regenerates the paper's figures as SVG files under `target/figures/`.
+//!
+//! * `f1_total_order.svg` — §4.2: the six simplices `σ_α` of `L_ord`
+//!   inside `Chr² s`.
+//! * `f2_terminated_edge.svg` — §6.1: `C_{k+1}` after terminating one edge
+//!   of the triangle.
+//! * `f3_lt_complex.svg` — §9.2: the output complex `L_1 ⊆ Chr² s`.
+//! * `f4_regions.svg` — §9.2: the bands `R_0, R_1, R_2` of the
+//!   terminating subdivision.
+//! * `f5_radial_projection.svg` — §9.2: sample rays of the radial
+//!   projection onto `∂R_0`.
+//!
+//! Run with: `cargo run -p gact --example figure_gallery`
+
+use gact::lt::{build_lt_showcase, radial_projection};
+use gact::render::{band_fill, project, Scene};
+use gact_chromatic::{standard_simplex, TerminatingSubdivision};
+use gact_tasks::affine::{lt_task, total_order_task};
+use gact_topology::{Complex, Simplex};
+use std::fmt::Write as _;
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("target/figures")?;
+
+    // --- F1: L_ord -------------------------------------------------------
+    let lord = total_order_task(2);
+    let mut scene = Scene::new(&lord.ambient.geometry, "F1  L_ord: the six sigma_alpha in Chr^2(s)");
+    scene.layer(lord.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
+    scene.layer(&lord.selected, "#ffd54f", "#b8860b", 0.9);
+    let lord_vertices = lord.ambient.complex.restrict(&lord.selected);
+    scene.vertices(&lord_vertices);
+    scene.write_to("target/figures/f1_total_order.svg")?;
+    println!(
+        "F1: {} sigma_alpha triangles -> target/figures/f1_total_order.svg",
+        lord.selected.count_of_dim(2)
+    );
+
+    // --- F2: terminated edge ---------------------------------------------
+    let (s, g) = standard_simplex(2);
+    let mut t = TerminatingSubdivision::new(&s, &g);
+    t.stabilize([Simplex::from_iter([0u32, 1])]);
+    t.advance();
+    let mut scene = Scene::new(t.geometry(), "F2  C_{k+1} with edge {0,1} terminated (par. 6.1)");
+    scene.layer(t.current().complex(), "#e3f2fd", "#1565c0", 0.9);
+    scene.layer(t.stable_complex(), "#ef9a9a", "#b71c1c", 0.9);
+    scene.vertices(t.current());
+    scene.write_to("target/figures/f2_terminated_edge.svg")?;
+    println!(
+        "F2: {} vertices / {} triangles -> target/figures/f2_terminated_edge.svg",
+        t.current().complex().count_of_dim(0),
+        t.current().complex().count_of_dim(2)
+    );
+
+    // --- F3: L_1 -----------------------------------------------------------
+    let l1 = lt_task(2, 1);
+    let mut scene = Scene::new(&l1.ambient.geometry, "F3  L_1 inside Chr^2(s) (par. 9.2)");
+    scene.layer(l1.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
+    scene.layer(&l1.selected, "#a5d6a7", "#1b5e20", 0.9);
+    scene.write_to("target/figures/f3_lt_complex.svg")?;
+    println!(
+        "F3: L_1 has {} triangles -> target/figures/f3_lt_complex.svg",
+        l1.selected.count_of_dim(2)
+    );
+
+    // --- F4: regions R_0, R_1, R_2 ----------------------------------------
+    let show = build_lt_showcase(2, 1, 2).expect("Proposition 9.2 witness");
+    // Re-build stage by stage to capture each band separately.
+    let mut sub = TerminatingSubdivision::new(&show.affine.task.input, &show.affine.task.input_geometry);
+    sub.advance_by(2);
+    let mut bands: Vec<Complex> = Vec::new();
+    for _ in 0..=2usize {
+        let geometry = sub.geometry().clone();
+        let before: Complex = sub.stable_complex().clone();
+        let facets: Vec<Simplex> = sub
+            .current()
+            .complex()
+            .iter_dim(2)
+            .filter(|f| {
+                f.iter()
+                    .all(|v| !gact::lt::on_forbidden_skeleton(geometry.coord(v), 2, 1))
+            })
+            .cloned()
+            .collect();
+        sub.stabilize(facets);
+        let band = Complex::from_facets(
+            sub.stable_complex()
+                .iter_dim(2)
+                .filter(|f| !before.contains(f))
+                .cloned(),
+        );
+        bands.push(band);
+        sub.advance();
+    }
+    let mut scene = Scene::new(sub.geometry(), "F4  bands R_0, R_1, R_2 (par. 9.2)");
+    scene.layer(sub.current().complex(), "#ffffff", "#dddddd", 1.0);
+    for (i, band) in bands.iter().enumerate() {
+        scene.layer(band, band_fill(i), "#333333", 0.9);
+    }
+    scene.write_to("target/figures/f4_regions.svg")?;
+    println!(
+        "F4: band sizes {:?} -> target/figures/f4_regions.svg",
+        bands.iter().map(|b| b.count_of_dim(2)).collect::<Vec<_>>()
+    );
+
+    // --- F5: radial projection rays ----------------------------------------
+    let mut svg_extra = String::new();
+    let samples = [
+        vec![0.94, 0.04, 0.02],
+        vec![0.9, 0.02, 0.08],
+        vec![0.03, 0.93, 0.04],
+        vec![0.05, 0.05, 0.9],
+        vec![0.97, 0.015, 0.015],
+    ];
+    for x in &samples {
+        let y = radial_projection(x, &show.affine, 2, 1);
+        let (x1, y1) = project(x);
+        let (x2, y2) = project(&y);
+        let _ = write!(
+            svg_extra,
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#d32f2f" stroke-width="2" marker-end="url(#a)"/><circle cx="{x1:.1}" cy="{y1:.1}" r="3" fill="#d32f2f"/>"##
+        );
+    }
+    let mut scene = Scene::new(&show.affine.ambient.geometry, "F5  radial projection onto R_0 (par. 9.2)");
+    scene.layer(show.affine.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
+    scene.layer(&show.affine.selected, "#a5d6a7", "#1b5e20", 0.85);
+    let svg = scene.to_svg().replace(
+        "</svg>",
+        &format!(
+            r##"<defs><marker id="a" markerWidth="8" markerHeight="8" refX="6" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z" fill="#d32f2f"/></marker></defs>{svg_extra}</svg>"##
+        ),
+    );
+    std::fs::write("target/figures/f5_radial_projection.svg", svg)?;
+    println!("F5: {} projection rays -> target/figures/f5_radial_projection.svg", samples.len());
+
+    println!("\nAll figures regenerated under target/figures/");
+    Ok(())
+}

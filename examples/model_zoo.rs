@@ -1,0 +1,125 @@
+//! A tour of sub-IIS models (§2.2) and the affine projection (§5).
+//!
+//! Enumerates short ultimately periodic runs, computes `part`, `∞-part`,
+//! `minimal(r)`, `fast`/`slow`, classifies each run into the paper's model
+//! families, and visualizes the projection `π(r)` with its canonical
+//! coloring `χ(π(r)) = fast(r)`.
+//!
+//! Run with: `cargo run -p gact --example model_zoo`
+
+use gact_iis::{ProcessId, Run, Round};
+use gact_models::{
+    affine_projection, canonical_coloring_at_depth, Adversary, FastCompanion, ObstructionFree,
+    SubIisModel, TResilient, WaitFree,
+};
+
+fn round(blocks: &[&[u8]]) -> Round {
+    Round::from_blocks(
+        blocks
+            .iter()
+            .map(|b| b.iter().map(|&i| ProcessId(i)).collect::<Vec<_>>()),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let n_procs = 3;
+    let wf = WaitFree { n_procs };
+    let res1 = TResilient { n_procs, t: 1 };
+    let res2 = TResilient { n_procs, t: 2 };
+    let of1 = ObstructionFree { n_procs, k: 1 };
+    let of1_fast = FastCompanion {
+        inner: ObstructionFree { n_procs, k: 1 },
+    };
+    let adv = Adversary::t_resilient(n_procs, 1);
+
+    // A gallery of characteristic runs.
+    let zoo: Vec<(&str, Run)> = vec![
+        ("fair (everyone together forever)", Run::fair(3)),
+        (
+            "p0 forever ahead of p1, p2 crashed",
+            Run::new(3, [], [round(&[&[0], &[1]])]).unwrap(),
+        ),
+        (
+            "rotating pair p0,p1; p2 crashed at round 1",
+            Run::new(
+                3,
+                [round(&[&[0, 1, 2]])],
+                [round(&[&[0], &[1]]), round(&[&[1], &[0]])],
+            )
+            .unwrap(),
+        ),
+        (
+            "chain (p0)(p1)(p2) forever",
+            Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(),
+        ),
+        ("solo p2", Run::new(3, [], [round(&[&[2]])]).unwrap()),
+        (
+            "pair {0,1} fair, p2 trailing forever",
+            Run::new(3, [], [round(&[&[0, 1], &[2]])]).unwrap(),
+        ),
+    ];
+
+    println!(
+        "{:44} {:10} {:10} {:10} | WF Res1 Res2 OF1 OF1f Adv",
+        "run", "part", "∞-part", "fast"
+    );
+    println!("{}", "-".repeat(110));
+    for (name, r) in &zoo {
+        let memberships = [
+            wf.contains(r),
+            res1.contains(r),
+            res2.contains(r),
+            of1.contains(r),
+            of1_fast.contains(r),
+            adv.contains(r),
+        ];
+        let marks: Vec<&str> = memberships.iter().map(|&b| if b { "✓" } else { "·" }).collect();
+        println!(
+            "{:44} {:10} {:10} {:10} |  {}   {}    {}    {}   {}    {}",
+            name,
+            format!("{:?}", r.part()),
+            format!("{:?}", r.inf_part()),
+            format!("{:?}", r.fast()),
+            marks[0],
+            marks[1],
+            marks[2],
+            marks[3],
+            marks[4],
+            marks[5],
+        );
+    }
+
+    println!("\nAffine projection π(r) and canonical coloring (§5):");
+    for (name, r) in &zoo {
+        let p = affine_projection(r);
+        let chi = canonical_coloring_at_depth(&p, 2, 3);
+        println!(
+            "  {:44} π = ({:.4}, {:.4}, {:.4})   χ(π) = {:?}   fast = {:?}",
+            name,
+            p[0],
+            p[1],
+            p[2],
+            chi,
+            r.fast()
+        );
+        assert_eq!(chi, r.fast(), "χ(π(r)) must equal fast(r)");
+    }
+
+    println!("\nminimal(r) (the seen-closure of first blocks, §2.1):");
+    for (name, r) in &zoo {
+        let m = r.minimal();
+        println!("  {:44} minimal = {:?}", name, m);
+        assert!(m.is_extended_by(r));
+    }
+
+    // §4.5: the OF vs OF_fast subtlety.
+    println!("\n§4.5: the always-ahead OF run is NOT in OF_fast;");
+    let ahead = Run::new(3, [], [round(&[&[0], &[1]])]).unwrap();
+    println!(
+        "  ahead ∈ OF_1: {}   ahead ∈ OF_1^fast: {}   minimal(ahead) ∈ OF_1^fast: {}",
+        of1.contains(&ahead),
+        of1_fast.contains(&ahead),
+        of1_fast.contains(&ahead.minimal()),
+    );
+}

@@ -1,0 +1,86 @@
+//! Proposition 9.2 end to end: the affine task `L_1` (no output vertex on
+//! a corner of `s`) is solvable 1-resiliently by three processes —
+//! reproducing the paper's §9.2 showcase, which previously required the
+//! "very involved" Red-Yellow-Green simulation of [Gafni 1998].
+//!
+//! Pipeline: region decomposition → terminating subdivision → radial
+//! projection → solver-found chromatic approximation `δ` → extracted
+//! protocol → operational verification over 1-resilient runs.
+//!
+//! Run with: `cargo run -p gact --example t_resilient_lt`
+
+use gact::{build_lt_showcase, verify_protocol_on_runs};
+use gact_iis::{ProcessId, ProcessSet, Run};
+use gact_models::{enumerate_runs, RunSampler, SamplerConfig, SubIisModel, TResilient};
+
+fn main() {
+    println!("Building the Proposition 9.2 witness for L_1 (n = 2, t = 1)...");
+    let show = build_lt_showcase(2, 1, 3).expect("Proposition 9.2 witness");
+    println!(
+        "  L_1 has {} output triangles inside Chr² s",
+        show.affine.selected.count_of_dim(2)
+    );
+    println!("  terminating subdivision bands (newly stable simplices per stage):");
+    for (i, b) in show.band_sizes.iter().enumerate() {
+        println!("    R_{i}: {b}");
+    }
+    println!(
+        "  chromatic approximation δ found by the solver: {} assignments, {} backtracks",
+        show.stats.assignments, show.stats.backtracks
+    );
+    show.certificate
+        .check_carrier_condition(&show.affine.task)
+        .expect("condition (b) of Theorem 6.1");
+    println!("  carrier condition δ(τ) ∈ Δ(carrier τ): OK");
+
+    // Enumerated short 1-resilient runs.
+    let res1 = TResilient { n_procs: 3, t: 1 };
+    let enumerated: Vec<Run> = enumerate_runs(3, 0)
+        .into_iter()
+        .filter(|r| res1.contains(r))
+        .collect();
+    println!(
+        "\nVerifying on {} enumerated 1-resilient runs...",
+        enumerated.len()
+    );
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &enumerated, 14);
+    let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
+    println!("  {clean}/{} clean", reports.len());
+    assert_eq!(clean, reports.len());
+
+    // Randomly sampled runs with prescribed fast sets.
+    let mut sampler = RunSampler::new(3, 99, SamplerConfig { max_prefix: 2, max_cycle: 2 });
+    let mut sampled: Vec<Run> = Vec::new();
+    for fast in [
+        [ProcessId(0), ProcessId(1)],
+        [ProcessId(0), ProcessId(2)],
+        [ProcessId(1), ProcessId(2)],
+    ] {
+        let fast: ProcessSet = fast.into_iter().collect();
+        for _ in 0..20 {
+            sampled.push(sampler.sample_with_fast(fast, ProcessSet::empty()));
+        }
+    }
+    for _ in 0..20 {
+        sampled.push(sampler.sample_with_fast(ProcessSet::full(3), ProcessSet::empty()));
+    }
+    println!("Verifying on {} sampled 1-resilient runs...", sampled.len());
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &sampled, 20);
+    let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
+    println!("  {clean}/{} clean", reports.len());
+    for r in reports.iter().filter(|r| !r.violations.is_empty()).take(3) {
+        println!("  VIOLATION on {:?}: {:?}", r.run, r.violations);
+    }
+    assert_eq!(clean, reports.len());
+
+    // The contrast: a wait-free (non-1-resilient) solo run cannot decide —
+    // Δ(corner) is empty, and indeed the protocol correctly stays silent.
+    let solo = Run::new(3, [], [gact_iis::Round::solo(ProcessId(2))]).unwrap();
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &[solo], 12);
+    println!(
+        "\nControl (solo run, outside Res_1): decisions = {}, liveness misses = {}",
+        reports[0].outputs.len(),
+        reports[0].violations.len()
+    );
+    println!("\nL_1 is 1-resiliently solvable — Proposition 9.2 reproduced.");
+}

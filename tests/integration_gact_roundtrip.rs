@@ -1,0 +1,171 @@
+//! Theorem 6.1, both directions, across crates.
+//!
+//! "⇐": a certificate (terminating subdivision + δ) yields a protocol that
+//! solves the task in the model — covered operationally here and in the
+//! `lt` showcase.
+//!
+//! "⇒": from a solving protocol, the proof reconstructs a terminating
+//! subdivision by stabilizing exactly the simplices whose vertices have
+//! all decided. We run that reconstruction against the extracted protocol
+//! itself and check that the rebuilt subdivision again satisfies both GACT
+//! conditions with the induced δ.
+
+use std::collections::HashMap;
+
+use gact::{act_solve, certificate_from_act_map, ActVerdict, GactCertificate};
+use gact_chromatic::{ColorSet, TerminatingSubdivision};
+use gact_chromatic::SimplicialMap;
+use gact_models::{enumerate_runs, SubIisModel, WaitFree};
+use gact_tasks::affine::full_subdivision_task;
+use gact_topology::{Simplex, VertexId};
+
+/// Queries the certificate protocol's decision at a *subdivision vertex*:
+/// the decision a process makes when its snapshot is exactly that vertex's
+/// position with that vertex's colors — the bridge from operational
+/// protocol back to combinatorial data.
+fn vertex_decision(
+    cert: &GactCertificate,
+    sub: &TerminatingSubdivision,
+    v: VertexId,
+) -> Option<VertexId> {
+    let color = sub.current().color(v);
+    let pos = sub.geometry().coord(v).clone();
+    let tau = cert.landing_simplex(&[pos], ColorSet::singleton(color), usize::MAX)?;
+    let w = sub.current().vertex_of_color(&tau, color)?;
+    Some(cert.map.apply(w))
+}
+
+#[test]
+fn protocol_to_subdivision_reconstruction() {
+    // Start from a solvable task and its ACT certificate.
+    let at = full_subdivision_task(1, 1);
+    let ActVerdict::Solvable {
+        depth,
+        map,
+        subdivision,
+        ..
+    } = act_solve(&at.task, 2)
+    else {
+        panic!("expected solvable");
+    };
+    let cert = certificate_from_act_map(&at.task, depth, &subdivision, &map);
+
+    // Reconstruct: iterate chromatic subdivision stages; at each stage,
+    // stabilize the simplices all of whose vertices decide under the
+    // protocol (the Σ_k of the Theorem 6.1 "⇒" proof).
+    let mut rebuilt = TerminatingSubdivision::new(&at.task.input, &at.task.input_geometry);
+    let mut delta_assignments: HashMap<VertexId, VertexId> = HashMap::new();
+    for _ in 0..=depth + 1 {
+        let current = rebuilt.current().clone();
+        let geometry = rebuilt.geometry().clone();
+        let stage = rebuilt.stage();
+        let mut to_stabilize = Vec::new();
+        for s in current.complex().iter() {
+            let decisions: Vec<Option<VertexId>> = s
+                .iter()
+                .map(|v| {
+                    // Decision of the process at this vertex at this round,
+                    // reconstructed from the original certificate's
+                    // protocol semantics (stage-gated: Σ_k collects what
+                    // has decided by round k).
+                    let color = current.color(v);
+                    let pos = geometry.coord(v).clone();
+                    cert.landing_simplex(&[pos], ColorSet::singleton(color), stage)
+                        .and_then(|tau| {
+                            cert.subdivision
+                                .current()
+                                .vertex_of_color(&tau, color)
+                                .map(|w| cert.map.apply(w))
+                        })
+                })
+                .collect();
+            if decisions.iter().all(|d| d.is_some()) {
+                to_stabilize.push(s.clone());
+                for (v, d) in s.iter().zip(decisions) {
+                    delta_assignments.insert(v, d.expect("checked above"));
+                }
+            }
+        }
+        rebuilt.stabilize(to_stabilize);
+        rebuilt.advance();
+    }
+
+    // The reconstruction must cover everything the original covered.
+    assert!(
+        !rebuilt.stable_complex().is_empty(),
+        "reconstruction found no decided simplices"
+    );
+    // Condition (b) for the induced δ on the rebuilt stable complex.
+    let induced = SimplicialMap::new(
+        rebuilt
+            .stable_complex()
+            .vertex_set()
+            .into_iter()
+            .map(|v| (v, delta_assignments[&v])),
+    );
+    let rebuilt_cert = GactCertificate::new(rebuilt, induced);
+    rebuilt_cert
+        .check_carrier_condition(&at.task)
+        .expect("rebuilt certificate must satisfy condition (b)");
+
+    // Condition (a): admissible for the wait-free model (every enumerated
+    // run lands).
+    let wf = WaitFree { n_procs: 2 };
+    for run in enumerate_runs(2, 1).into_iter().filter(|r| wf.contains(r)) {
+        assert!(
+            rebuilt_cert.landing_round(&run, 10).is_ok(),
+            "rebuilt subdivision not admissible for {run:?}"
+        );
+    }
+}
+
+#[test]
+fn vertex_decisions_agree_with_delta_on_stable_vertices() {
+    // On the original certificate, the protocol's per-vertex decision at a
+    // stable vertex is exactly δ at that vertex.
+    let at = full_subdivision_task(2, 1);
+    let ActVerdict::Solvable {
+        depth,
+        map,
+        subdivision,
+        ..
+    } = act_solve(&at.task, 1)
+    else {
+        panic!("expected solvable");
+    };
+    let cert = certificate_from_act_map(&at.task, depth, &subdivision, &map);
+    let sub = &cert.subdivision;
+    for v in sub.stable_complex().vertex_set() {
+        let got = vertex_decision(&cert, sub, v).expect("stable vertices decide");
+        assert_eq!(got, cert.map.apply(v), "vertex {v:?}");
+    }
+}
+
+#[test]
+fn landing_rounds_are_monotone_in_depth() {
+    // A deeper certificate can only land later or equal for the same run
+    // (finer stable simplices).
+    let shallow_task = full_subdivision_task(1, 1);
+    let deep_task = full_subdivision_task(1, 2);
+    let mk = |at: &gact_tasks::AffineTask, max: usize| {
+        let ActVerdict::Solvable {
+            depth,
+            map,
+            subdivision,
+            ..
+        } = act_solve(&at.task, max)
+        else {
+            panic!()
+        };
+        certificate_from_act_map(&at.task, depth, &subdivision, &map)
+    };
+    let shallow = mk(&shallow_task, 1);
+    let deep = mk(&deep_task, 2);
+    let wf = WaitFree { n_procs: 2 };
+    for run in enumerate_runs(2, 0).into_iter().filter(|r| wf.contains(r)) {
+        let a = shallow.landing_round(&run, 10).unwrap();
+        let b = deep.landing_round(&run, 10).unwrap();
+        assert!(a <= b, "shallow landed at {a}, deep at {b} for {run:?}");
+    }
+    let _ = Simplex::vertex(VertexId(0));
+}

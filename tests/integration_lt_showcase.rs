@@ -1,0 +1,122 @@
+//! The Proposition 9.2 pipeline exercised across crates, including the
+//! geometric-model formulation of `Res_t` (§5) and exhaustive short
+//! schedules.
+
+use gact::{build_lt_showcase, verify_protocol_on_runs};
+use gact_iis::{ProcessId, ProcessSet, Run};
+use gact_models::{enumerate_runs, geometric_t_resilient, SubIisModel, TResilient};
+use gact_topology::Simplex;
+use std::sync::OnceLock;
+
+fn showcase() -> &'static gact::LtShowcase {
+    static SHOW: OnceLock<gact::LtShowcase> = OnceLock::new();
+    SHOW.get_or_init(|| build_lt_showcase(2, 1, 3).expect("Proposition 9.2 witness"))
+}
+
+#[test]
+fn lt_solvable_on_geometric_res1_runs() {
+    // Membership via the *geometric* π-formulation of Res_1 (§5) instead
+    // of the combinatorial fast-set one; the protocol must solve exactly
+    // the same runs.
+    let show = showcase();
+    let geometric = geometric_t_resilient(3, 1);
+    let combinatorial = TResilient { n_procs: 3, t: 1 };
+    let runs: Vec<Run> = enumerate_runs(3, 0)
+        .into_iter()
+        .filter(|r| geometric.contains(r))
+        .collect();
+    assert!(!runs.is_empty());
+    for r in &runs {
+        assert!(combinatorial.contains(r), "model formulations disagree");
+    }
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &runs, 14);
+    for rep in &reports {
+        assert!(
+            rep.violations.is_empty(),
+            "violations on {:?}: {:?}",
+            rep.run,
+            rep.violations
+        );
+    }
+}
+
+#[test]
+fn lt_outputs_land_in_lt_simplices() {
+    // Beyond Δ-compliance: each decided output vertex belongs to L_1 (not
+    // merely to Chr² s), and the joint outputs of fast processes span a
+    // simplex of L_1.
+    let show = showcase();
+    let res1 = TResilient { n_procs: 3, t: 1 };
+    let runs: Vec<Run> = enumerate_runs(3, 0)
+        .into_iter()
+        .filter(|r| res1.contains(r))
+        .collect();
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &runs, 14);
+    for rep in &reports {
+        assert!(rep.violations.is_empty());
+        for (_, v) in &rep.outputs {
+            assert!(show.affine.selected.contains_vertex(*v));
+        }
+        if !rep.outputs.is_empty() {
+            let joint = Simplex::new(rep.outputs.values().copied());
+            assert!(
+                show.affine.selected.contains(&joint),
+                "joint outputs {joint:?} not a simplex of L_1"
+            );
+        }
+    }
+}
+
+#[test]
+fn lt_landing_rounds_respect_band_stages() {
+    // Runs landing in deeper bands must land at later rounds: the stage
+    // gate in action. The fair run lands in R_0 (round ≥ 2); a run
+    // spiralling near a corner for a while lands strictly later.
+    let show = showcase();
+    let fair = Run::fair(3);
+    let fair_round = show.certificate.landing_round(&fair, 20).expect("fair lands");
+    assert!(fair_round >= 2, "R_0 was stabilized at stage 2");
+
+    // A run that hugs corner 0 for three rounds before opening up.
+    let hug = Run::new(
+        3,
+        vec![
+            gact_iis::Round::from_blocks([vec![ProcessId(0)], vec![ProcessId(1), ProcessId(2)]])
+                .unwrap();
+            3
+        ],
+        [gact_iis::Round::from_blocks([vec![
+            ProcessId(0),
+            ProcessId(1),
+            ProcessId(2),
+        ]])
+        .unwrap()],
+    )
+    .unwrap();
+    let hug_round = show.certificate.landing_round(&hug, 24).expect("hugging run lands");
+    assert!(
+        hug_round >= fair_round,
+        "corner-hugging run landed earlier ({hug_round}) than the fair run ({fair_round})"
+    );
+}
+
+#[test]
+fn lt_trailing_process_gets_dragged_to_an_output() {
+    // A run where p2 trails forever behind a fast pair: p2 is infinitely
+    // participating, so it must decide too — condition (1) of Def 4.1.
+    let show = showcase();
+    let trailing = Run::new(
+        3,
+        [],
+        [gact_iis::Round::from_blocks([
+            vec![ProcessId(0), ProcessId(1)],
+            vec![ProcessId(2)],
+        ])
+        .unwrap()],
+    )
+    .unwrap();
+    assert_eq!(trailing.fast(), [ProcessId(0), ProcessId(1)].into_iter().collect::<ProcessSet>());
+    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &[trailing], 20);
+    assert!(reports[0].violations.is_empty(), "{:?}", reports[0].violations);
+    assert_eq!(reports[0].outputs.len(), 3, "all three must decide");
+}

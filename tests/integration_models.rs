@@ -1,0 +1,139 @@
+//! Cross-crate integration: models × runs × projection × tasks.
+
+use gact_iis::{ProcessId, ProcessSet, Run};
+use gact_models::{
+    affine_projection, canonical_coloring_at_depth, enumerate_runs, Adversary, FastCompanion,
+    ObstructionFree, RunSampler, SamplerConfig, SubIisModel, TResilient, WaitFree,
+};
+
+#[test]
+fn model_hierarchy_on_enumerated_runs() {
+    // Res_0 ⊆ Res_1 ⊆ Res_2 = WF-side; OF_k grows with k; adversary
+    // t-resilient matches Res_t — all checked exhaustively on short runs.
+    let runs = enumerate_runs(3, 1);
+    let wf = WaitFree { n_procs: 3 };
+    let res: Vec<TResilient> = (0..=2)
+        .map(|t| TResilient { n_procs: 3, t })
+        .collect();
+    let of: Vec<ObstructionFree> = (1..=3)
+        .map(|k| ObstructionFree { n_procs: 3, k })
+        .collect();
+    let adv1 = Adversary::t_resilient(3, 1);
+    for r in &runs {
+        assert!(wf.contains(r));
+        for t in 0..2 {
+            if res[t].contains(r) {
+                assert!(res[t + 1].contains(r), "Res_t not monotone on {r:?}");
+            }
+        }
+        for k in 0..2 {
+            if of[k].contains(r) {
+                assert!(of[k + 1].contains(r), "OF_k not monotone on {r:?}");
+            }
+        }
+        assert_eq!(res[1].contains(r), adv1.contains(r));
+        // fast ∪ slow partitions the process space.
+        assert_eq!(r.fast().union(r.slow()), ProcessSet::full(3));
+        assert!(r.fast().intersection(r.slow()).is_empty());
+        // fast is always non-empty and within ∞-part.
+        assert!(!r.fast().is_empty());
+        assert!(r.fast().is_subset_of(r.inf_part()));
+    }
+}
+
+#[test]
+fn projection_chi_equals_fast_exhaustively() {
+    // χ(π(r)) = fast(r) over every 1-round-cycle run on 3 processes.
+    for r in enumerate_runs(3, 0) {
+        let p = affine_projection(&r);
+        let chi = canonical_coloring_at_depth(&p, 2, 3);
+        assert_eq!(chi, r.fast(), "χ(π(r)) ≠ fast(r) for {r:?}");
+    }
+}
+
+#[test]
+fn minimal_run_is_a_fixed_point_and_in_same_models() {
+    let res1 = TResilient { n_procs: 3, t: 1 };
+    let of2 = ObstructionFree { n_procs: 3, k: 2 };
+    for r in enumerate_runs(3, 1) {
+        let m = r.minimal();
+        assert!(m.same_run(&m.minimal()));
+        // fast-determined models cannot distinguish r from minimal(r).
+        assert_eq!(res1.contains(&r), res1.contains(&m), "{r:?}");
+        assert_eq!(of2.contains(&r), of2.contains(&m), "{r:?}");
+    }
+}
+
+#[test]
+fn fast_companion_is_the_minimal_slice() {
+    let of1 = ObstructionFree { n_procs: 3, k: 1 };
+    let of1_fast = FastCompanion {
+        inner: ObstructionFree { n_procs: 3, k: 1 },
+    };
+    for r in enumerate_runs(3, 0) {
+        if of1_fast.contains(&r) {
+            assert!(of1.contains(&r));
+            assert!(r.same_run(&r.minimal()));
+        }
+        if of1.contains(&r) {
+            assert!(of1_fast.contains(&r.minimal()), "{r:?}");
+        }
+    }
+}
+
+#[test]
+fn sampled_runs_populate_their_models() {
+    let mut sampler = RunSampler::new(4, 7, SamplerConfig::default());
+    let res2 = TResilient { n_procs: 4, t: 2 };
+    let fast: ProcessSet = [ProcessId(0), ProcessId(3)].into_iter().collect();
+    for _ in 0..50 {
+        let r = sampler.sample_with_fast(fast, ProcessSet::empty());
+        assert_eq!(r.fast(), fast);
+        assert!(res2.contains(&r));
+    }
+    // Plain sampling stays within WF and yields valid runs.
+    let wf = WaitFree { n_procs: 4 };
+    for _ in 0..200 {
+        let r = sampler.sample();
+        assert!(wf.contains(&r));
+        assert!(r.fast().is_subset_of(r.inf_part()));
+    }
+}
+
+#[test]
+fn compactness_diagonal_argument_on_run_space() {
+    // Lemma 5.1 operationally: from any sequence of runs, extract a
+    // subsequence converging in the run metric. We realize the diagonal
+    // argument on a concrete family and check Cauchy behaviour.
+    let mut sampler = RunSampler::new(3, 123, SamplerConfig { max_prefix: 3, max_cycle: 2 });
+    let seq: Vec<Run> = (0..200).map(|_| sampler.sample()).collect();
+
+    // Diagonalize: repeatedly restrict to the majority first-k-rounds
+    // class.
+    let mut pool: Vec<Run> = seq.clone();
+    let mut chosen: Vec<Run> = Vec::new();
+    for k in 0..6usize {
+        use std::collections::HashMap;
+        let mut classes: HashMap<Vec<gact_iis::Round>, Vec<Run>> = HashMap::new();
+        for r in &pool {
+            classes.entry(r.rounds_prefix(k + 1)).or_default().push(r.clone());
+        }
+        let (_, biggest) = classes
+            .into_iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("pool non-empty");
+        pool = biggest;
+        chosen.push(pool[0].clone());
+        if pool.len() == 1 {
+            break;
+        }
+    }
+    // The chosen subsequence is Cauchy: distances shrink as 1/(1+k).
+    for (i, pair) in chosen.windows(2).enumerate() {
+        let d = pair[0].distance(&pair[1]);
+        assert!(
+            d <= 1.0 / (1.0 + i as f64),
+            "diagonal subsequence not Cauchy at step {i}: d = {d}"
+        );
+    }
+}

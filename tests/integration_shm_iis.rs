@@ -1,0 +1,88 @@
+//! Cross-crate integration: shared memory → IIS → topology.
+//!
+//! The full simulation stack of the paper's §1 step (1): SM interleavings
+//! drive Borowsky–Gafni IS objects; the extracted IIS rounds feed the
+//! abstract view semantics; the views land on chromatic-subdivision
+//! vertices.
+
+use std::collections::HashMap;
+
+use gact_chromatic::standard_simplex;
+use gact_iis::view::{chr_chain, run_subdivision_vertices, run_views, ViewArena};
+use gact_iis::{ProcessId, ProcessSet};
+use gact_shm::{simulate_iis, RandomScheduler, RoundRobin};
+use gact_topology::{Simplex, VertexId};
+
+#[test]
+fn shm_runs_land_on_subdivision_simplices() {
+    // Simulate IIS over shared memory with random schedules, replay the
+    // extracted rounds through the view semantics, and locate every view
+    // as a vertex of Chr^k(s); each layer's views must span a simplex.
+    let n = 2usize; // 3 processes
+    let (base, geom) = standard_simplex(n);
+    let chain = chr_chain(&base, &geom, 2);
+    let omega: HashMap<ProcessId, VertexId> = (0..=n as u8)
+        .map(|i| (ProcessId(i), VertexId(i as u32)))
+        .collect();
+    let mut landed = 0usize;
+    for seed in 0..30u64 {
+        let mut sched = RandomScheduler::seeded(seed);
+        let sim = simulate_iis(n + 1, ProcessSet::full(n + 1), 2, &mut sched, 1_000_000);
+        if sim.rounds.len() < 2 || !sim.stuck.is_empty() {
+            continue;
+        }
+        let verts = run_subdivision_vertices(&sim.rounds, &omega, &chain);
+        for k in 1..=2usize {
+            let config = Simplex::new(verts[k].values().copied());
+            assert!(
+                chain[k - 1].complex.complex().contains(&config),
+                "seed {seed}: layer {k} configuration not a simplex"
+            );
+        }
+        landed += 1;
+    }
+    assert!(landed > 10, "too few complete simulations to be meaningful");
+}
+
+#[test]
+fn crashed_simulations_still_produce_valid_runs() {
+    for seed in 0..20u64 {
+        let mut sched = RandomScheduler::seeded(seed);
+        sched.crash(ProcessId(0));
+        let sim = simulate_iis(3, ProcessSet::full(3), 3, &mut sched, 1_000_000);
+        // Nesting of participants along extracted rounds.
+        let mut prev: Option<ProcessSet> = None;
+        for r in &sim.rounds {
+            if let Some(prev) = prev {
+                assert!(r.participants().is_subset_of(prev));
+            }
+            prev = Some(r.participants());
+        }
+        // The survivors keep making progress through the layers.
+        if let Some(last) = sim.rounds.last() {
+            assert!(last
+                .participants()
+                .is_subset_of(ProcessSet::full(3)));
+        }
+    }
+}
+
+#[test]
+fn fair_shm_simulation_matches_fair_iis_views() {
+    // Under round-robin, the extracted IIS run is the fair run, and the
+    // simulated views equal the abstract fair-run views.
+    let mut sched = RoundRobin::default();
+    let parts = ProcessSet::full(3);
+    let sim = simulate_iis(3, parts, 2, &mut sched, 1_000_000);
+    assert_eq!(sim.rounds.len(), 2);
+    for r in &sim.rounds {
+        assert_eq!(r.participants(), parts);
+        assert_eq!(r.blocks().len(), 1, "round-robin must look concurrent");
+    }
+    let inputs: HashMap<ProcessId, u32> = parts.iter().map(|p| (p, p.0 as u32)).collect();
+    let mut arena = ViewArena::new();
+    let replay = run_views(&sim.rounds, &inputs, &mut arena);
+    for (p, v) in &sim.views[1] {
+        assert_eq!(sim.arena.render(*v), arena.render(replay[2][p]));
+    }
+}
