@@ -18,7 +18,14 @@ fn bench_lt(c: &mut Criterion) {
 
     group.bench_function("verify_20_runs", |b| {
         let show = build_lt_showcase(2, 1, 2).expect("witness");
-        let mut sampler = RunSampler::new(3, 11, SamplerConfig { max_prefix: 1, max_cycle: 2 });
+        let mut sampler = RunSampler::new(
+            3,
+            11,
+            SamplerConfig {
+                max_prefix: 1,
+                max_cycle: 2,
+            },
+        );
         let fast: ProcessSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
         let runs: Vec<_> = (0..20)
             .map(|_| sampler.sample_with_fast(fast, ProcessSet::empty()))

@@ -35,8 +35,7 @@ fn bench_shm(c: &mut Criterion) {
             |b, &layers| {
                 b.iter(|| {
                     let mut sched = RandomScheduler::seeded(7);
-                    let sim =
-                        simulate_iis(3, ProcessSet::full(3), layers, &mut sched, 10_000_000);
+                    let sim = simulate_iis(3, ProcessSet::full(3), layers, &mut sched, 10_000_000);
                     assert_eq!(sim.rounds.len(), layers);
                 });
             },

@@ -3,6 +3,11 @@
 //! EXPERIMENTS.md). Prints paper-vs-measured rows.
 //!
 //! Run with: `cargo run --release -p gact-bench --bin experiments`
+//!
+//! With `-- --json [path]` it instead re-times the benchmark workloads
+//! (same ids as the criterion benches) using plain `std::time` and writes
+//! a machine-readable JSON document — `BENCH_results.json` by default — so
+//! successive PRs have a performance trajectory to compare against.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -34,7 +39,131 @@ fn row(name: &str, paper: &str, measured: &str) {
     println!("  {name:<46} paper: {paper:<22} measured: {measured}");
 }
 
+/// Re-times the criterion benchmark workloads with `std::time` and writes
+/// the machine-readable `BENCH_results.json` for cross-PR perf tracking.
+fn run_json_benches(path: &str) {
+    use gact::{solve, MapProblem, SolveOutcome};
+    use gact_bench::{measure, to_json, BenchRecord};
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut push = |r: BenchRecord| {
+        println!("  {:<44} median {}", r.id, r.pretty_median());
+        records.push(r);
+    };
+
+    println!("timing chr_growth …");
+    for n in 1..=3usize {
+        for m in 1..=2usize {
+            let (s, g) = standard_simplex(n);
+            push(measure(format!("chr_growth/n{n}/{m}"), 10, || {
+                chr_iter(&s, &g, m)
+            }));
+        }
+    }
+    {
+        let (s, g) = standard_simplex(2);
+        push(measure("chr_growth/n2_m3", 10, || chr_iter(&s, &g, 3)));
+    }
+
+    println!("timing act_solver …");
+    for (n, depth) in [(1usize, 1usize), (1, 2), (2, 1)] {
+        let at = full_subdivision_task(n, depth);
+        push(measure(
+            format!("act_solver/solvable/n{n}_k{depth}"),
+            10,
+            || assert!(act_solve(&at.task, depth).is_solvable()),
+        ));
+    }
+    for k in 0..=2usize {
+        let task = consensus_task(1, &[0, 1]);
+        let sd = chr_iter(&task.input, &task.input_geometry, k);
+        push(measure(
+            format!("act_solver/consensus_unsat/{k}"),
+            10,
+            || {
+                let problem = MapProblem {
+                    domain: &sd.complex,
+                    vertex_carrier: &sd.vertex_carrier,
+                    task: &task,
+                };
+                assert!(!matches!(solve(&problem, None), SolveOutcome::Map(..)));
+            },
+        ));
+    }
+    {
+        let task = consensus_task(2, &[0, 1]);
+        push(measure("act_solver/consensus_obstruction_n2", 10, || {
+            assert!(connectivity_obstruction(&task).is_some());
+        }));
+    }
+
+    println!("timing runs_and_projection …");
+    {
+        let runs = enumerate_runs(3, 0);
+        push(measure("runs/fast_enumerated/3", 20, || {
+            runs.iter().map(|r| r.fast().len()).sum::<usize>()
+        }));
+        let mut sampler = RunSampler::new(4, 17, SamplerConfig::default());
+        let sampled: Vec<Run> = (0..50).map(|_| sampler.sample()).collect();
+        push(measure("runs/affine_projection_sampled", 20, || {
+            sampled.iter().map(|r| affine_projection(r)[0]).sum::<f64>()
+        }));
+    }
+
+    println!("timing shm …");
+    {
+        let invocations: Vec<(ProcessId, u32)> =
+            (0..6u8).map(|i| (ProcessId(i), i as u32)).collect();
+        push(measure("shm/is_round_robin/6", 20, || {
+            let mut sched = gact_shm::RoundRobin::default();
+            run_is(&invocations, &mut sched, 6, 1_000_000)
+        }));
+        push(measure("shm/iis_over_shm_3procs/4", 20, || {
+            let mut sched = RandomScheduler::seeded(7);
+            simulate_iis(3, ProcessSet::full(3), 4, &mut sched, 10_000_000)
+        }));
+    }
+
+    println!("timing lt_pipeline …");
+    push(measure("lt_pipeline/build_showcase_2_stages", 3, || {
+        build_lt_showcase(2, 1, 2).expect("witness")
+    }));
+    {
+        let show = build_lt_showcase(2, 1, 2).expect("witness");
+        let mut sampler = RunSampler::new(
+            3,
+            11,
+            SamplerConfig {
+                max_prefix: 1,
+                max_cycle: 2,
+            },
+        );
+        let fast: ProcessSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let runs: Vec<Run> = (0..20)
+            .map(|_| sampler.sample_with_fast(fast, ProcessSet::empty()))
+            .collect();
+        push(measure("lt_pipeline/verify_20_runs", 5, || {
+            let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &runs, 12);
+            assert!(reports.iter().all(|r| r.violations.is_empty()));
+        }));
+    }
+
+    let json = to_json(&records);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nwrote {} benches to {path}", records.len());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with('-'))
+            .map(String::as_str)
+            .unwrap_or("BENCH_results.json");
+        run_json_benches(path);
+        return;
+    }
     let t0 = Instant::now();
     println!("GACT reproduction — experiment harness");
 
@@ -60,7 +189,11 @@ fn main() {
         by_card.sort();
         perms.insert(by_card.iter().map(|x| x.1).collect::<Vec<_>>());
     }
-    row("distinct permutations encoded", "6", &format!("{}", perms.len()));
+    row(
+        "distinct permutations encoded",
+        "6",
+        &format!("{}", perms.len()),
+    );
     row(
         "L_ord link-connected?",
         "no (§8.2)",
@@ -68,7 +201,10 @@ fn main() {
     );
 
     // ---------------- F2 ------------------------------------------------
-    header("F2", "partial subdivision with a terminated edge (§6.1 figure)");
+    header(
+        "F2",
+        "partial subdivision with a terminated edge (§6.1 figure)",
+    );
     let (s2, g2) = standard_simplex(2);
     let mut term = TerminatingSubdivision::new(&s2, &g2);
     term.stabilize([Simplex::from_iter([0u32, 1])]);
@@ -86,7 +222,12 @@ fn main() {
     row(
         "stable edge survives un-subdivided",
         "yes",
-        &format!("{}", term.current().complex().contains(&Simplex::from_iter([0u32, 1]))),
+        &format!(
+            "{}",
+            term.current()
+                .complex()
+                .contains(&Simplex::from_iter([0u32, 1]))
+        ),
     );
 
     // ---------------- F3 ------------------------------------------------
@@ -120,11 +261,17 @@ fn main() {
     row(
         "Δ(corner)",
         "empty",
-        &format!("{}", l1.task.allowed(&Simplex::from_iter([0u32])).is_empty()),
+        &format!(
+            "{}",
+            l1.task.allowed(&Simplex::from_iter([0u32])).is_empty()
+        ),
     );
 
     // ---------------- F4 + F5 + E8 --------------------------------------
-    header("F4/F5/E8", "Proposition 9.2: regions, projection, certificate, protocol");
+    header(
+        "F4/F5/E8",
+        "Proposition 9.2: regions, projection, certificate, protocol",
+    );
     let t_build = Instant::now();
     let show = build_lt_showcase(2, 1, 3).expect("Proposition 9.2 witness");
     row(
@@ -159,7 +306,14 @@ fn main() {
         "all",
         &format!("{clean}/{}", reports.len()),
     );
-    let mut sampler = RunSampler::new(3, 2024, SamplerConfig { max_prefix: 2, max_cycle: 2 });
+    let mut sampler = RunSampler::new(
+        3,
+        2024,
+        SamplerConfig {
+            max_prefix: 2,
+            max_cycle: 2,
+        },
+    );
     let mut sampled = Vec::new();
     for fast in [[0u8, 1], [0, 2], [1, 2]] {
         let fast: ProcessSet = fast.into_iter().map(ProcessId).collect();
@@ -223,11 +377,8 @@ fn main() {
                     .iter()
                     .map(|p| (p, [4u32, 9, 4][p.0 as usize]))
                     .collect();
-                let outputs: HashMap<ProcessId, CaOutput> = exec
-                    .outputs
-                    .iter()
-                    .map(|(p, d)| (*p, d.value))
-                    .collect();
+                let outputs: HashMap<ProcessId, CaOutput> =
+                    exec.outputs.iter().map(|(p, d)| (*p, d.value)).collect();
                 ca_execs += 1;
                 ca_violations += check_commit_adopt(&proposals, &outputs).len();
             }
@@ -275,8 +426,9 @@ fn main() {
     let mut sim_ok = 0usize;
     let (base, geom) = standard_simplex(2);
     let chain = chr_chain(&base, &geom, 2);
-    let omega: HashMap<ProcessId, VertexId> =
-        (0..3u8).map(|i| (ProcessId(i), VertexId(i as u32))).collect();
+    let omega: HashMap<ProcessId, VertexId> = (0..3u8)
+        .map(|i| (ProcessId(i), VertexId(i as u32)))
+        .collect();
     for seed in 0..50u64 {
         let mut sched = RandomScheduler::seeded(seed);
         let sim = simulate_iis(3, ProcessSet::full(3), 2, &mut sched, 10_000_000);
@@ -340,14 +492,24 @@ fn main() {
 
     // ---------------- E1 -------------------------------------------------
     header("E1", "compactness of R (Lemma 5.1, diagonal argument)");
-    let mut sampler = RunSampler::new(3, 321, SamplerConfig { max_prefix: 3, max_cycle: 2 });
+    let mut sampler = RunSampler::new(
+        3,
+        321,
+        SamplerConfig {
+            max_prefix: 3,
+            max_cycle: 2,
+        },
+    );
     let seq: Vec<Run> = (0..300).map(|_| sampler.sample()).collect();
     let mut pool = seq;
     let mut limit_prefix: Vec<Round> = Vec::new();
     for k in 0..8usize {
         let mut classes: HashMap<Vec<Round>, Vec<Run>> = HashMap::new();
         for r in &pool {
-            classes.entry(r.rounds_prefix(k + 1)).or_default().push(r.clone());
+            classes
+                .entry(r.rounds_prefix(k + 1))
+                .or_default()
+                .push(r.clone());
         }
         let (prefix, biggest) = classes
             .into_iter()
@@ -366,11 +528,15 @@ fn main() {
     );
 
     // ---------------- E5b: view bijection --------------------------------
-    header("E5b", "views ⇔ subdivision vertices (§4.3, proof of Thm 6.1)");
+    header(
+        "E5b",
+        "views ⇔ subdivision vertices (§4.3, proof of Thm 6.1)",
+    );
     let (base1, geom1) = standard_simplex(1);
     let chain1 = chr_chain(&base1, &geom1, 2);
-    let omega1: HashMap<ProcessId, VertexId> =
-        (0..2u8).map(|i| (ProcessId(i), VertexId(i as u32))).collect();
+    let omega1: HashMap<ProcessId, VertexId> = (0..2u8)
+        .map(|i| (ProcessId(i), VertexId(i as u32)))
+        .collect();
     let inputs1: HashMap<ProcessId, u32> = (0..2u8).map(|i| (ProcessId(i), i as u32)).collect();
     let mut arena = ViewArena::new();
     let mut pairs = 0usize;
@@ -381,7 +547,7 @@ fn main() {
             let views = run_views(&rounds, &inputs1, &mut arena);
             let verts = run_subdivision_vertices(&rounds, &omega1, &chain1);
             for k in 0..=2 {
-                for (p, _) in &views[k] {
+                for p in views[k].keys() {
                     let _ = verts[k][p];
                     pairs += 1;
                 }

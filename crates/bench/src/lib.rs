@@ -1,10 +1,144 @@
 //! # gact-bench
 //!
-//! Benchmark harness for the GACT reproduction. The library crate is
-//! intentionally empty: the content lives in
+//! Benchmark harness for the GACT reproduction. Content:
 //!
-//! * `benches/` — Criterion benchmarks (`chr_growth`, `act_solver`,
+//! * `benches/` — criterion benchmarks (`chr_growth`, `act_solver`,
 //!   `runs_and_projection`, `shm_is`, `lt_pipeline`), one per experiment
 //!   family of DESIGN.md §5;
 //! * `src/bin/experiments.rs` — the one-shot harness printing every
-//!   paper-vs-measured row recorded in EXPERIMENTS.md.
+//!   paper-vs-measured row recorded in EXPERIMENTS.md, plus the `--json`
+//!   mode that re-times the benchmark workloads with `std::time` and
+//!   writes a machine-readable `BENCH_results.json` for cross-PR perf
+//!   tracking;
+//! * this library — the tiny wall-time measurement and JSON plumbing the
+//!   `--json` mode uses (kept dependency-free: the build environment has
+//!   no serde).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed benchmark: median/min/mean nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark id, `group/name` (matching the criterion benches).
+    pub id: String,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum wall time per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchRecord {
+    /// Human-readable median.
+    pub fn pretty_median(&self) -> String {
+        let ns = self.median_ns;
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+}
+
+/// Times `body` for `samples` samples (after one warmup call), batching
+/// fast bodies so each sample spans at least ~2ms of wall time.
+pub fn measure<O>(
+    id: impl Into<String>,
+    samples: usize,
+    mut body: impl FnMut() -> O,
+) -> BenchRecord {
+    let id = id.into();
+    // Warmup + batch calibration.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(body());
+        }
+        if start.elapsed().as_millis() >= 2 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(body());
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    BenchRecord {
+        id,
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        samples: per_iter.len(),
+    }
+}
+
+/// Escapes backslashes and double quotes for embedding in a JSON string.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes records as the `BENCH_results.json` document (schema 1).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"timestamp_unix\": {unix},");
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}",
+            json_escape(&r.id), r.median_ns, r.min_ns, r.mean_ns, r.samples, comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_times() {
+        let r = measure("unit/spin", 3, || {
+            (0..1000u64).fold(0u64, |a, x| a.wrapping_add(x * x))
+        });
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(r.samples, 3);
+        assert!(!r.pretty_median().is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let records = vec![measure("a/b", 2, || 1 + 1), measure("c/d", 2, || 2 + 2)];
+        let json = to_json(&records);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"id\": \"a/b\""));
+        assert!(json.contains("\"id\": \"c/d\""));
+        // Exactly one comma between the two entries, none after the last.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(!json.contains("}\n  ]\n},"));
+    }
+}

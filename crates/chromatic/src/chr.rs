@@ -187,12 +187,12 @@ pub fn chr_relative(
     let mut facets: Vec<Simplex> = Vec::new();
 
     let intern = |p: VertexId,
-                      seen: &Simplex,
-                      key_to_id: &mut HashMap<(VertexId, Simplex), VertexId>,
-                      colors: &mut HashMap<VertexId, crate::color::Color>,
-                      geometry: &mut Geometry,
-                      vertex_carrier: &mut HashMap<VertexId, Simplex>,
-                      alloc: &mut VertexAlloc|
+                  seen: &Simplex,
+                  key_to_id: &mut HashMap<(VertexId, Simplex), VertexId>,
+                  colors: &mut HashMap<VertexId, crate::color::Color>,
+                  geometry: &mut Geometry,
+                  vertex_carrier: &mut HashMap<VertexId, Simplex>,
+                  alloc: &mut VertexAlloc|
      -> VertexId {
         let key = (p, seen.clone());
         if let Some(&id) = key_to_id.get(&key) {

@@ -60,7 +60,11 @@ impl ColorSet {
     /// Panics if `n ≥ 64`.
     pub fn full(n: usize) -> Self {
         assert!(n < 64, "at most 64 colors supported");
-        ColorSet(if n == 63 { u64::MAX } else { (1u64 << (n + 1)) - 1 })
+        ColorSet(if n == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (n + 1)) - 1
+        })
     }
 
     /// Singleton set.

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn vertex_of_color_lookup() {
         let c = tri();
-        assert_eq!(c.vertex_of_color(&s(&[0, 1, 2]), Color(1)), Some(VertexId(1)));
+        assert_eq!(
+            c.vertex_of_color(&s(&[0, 1, 2]), Color(1)),
+            Some(VertexId(1))
+        );
         assert_eq!(c.vertex_of_color(&s(&[0, 2]), Color(1)), None);
         assert_eq!(c.vertices_of_color(Color(0)), vec![VertexId(0)]);
     }

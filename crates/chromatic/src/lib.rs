@@ -34,7 +34,9 @@ pub mod maps;
 pub mod standard;
 pub mod terminating;
 
-pub use chr::{chr, chr_iter, chr_relative, fubini, ordered_partitions, ChromaticSubdivision, VertexAlloc};
+pub use chr::{
+    chr, chr_iter, chr_relative, fubini, ordered_partitions, ChromaticSubdivision, VertexAlloc,
+};
 pub use color::{Color, ColorSet};
 pub use complex::{ChromaticComplex, ChromaticError};
 pub use link::{is_link_connected, link_connectivity_report, LinkReport};

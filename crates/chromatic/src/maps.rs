@@ -116,7 +116,11 @@ impl SimplicialMap {
     /// Panics if some image of `self` is unmapped by `other`.
     pub fn then(&self, other: &SimplicialMap) -> SimplicialMap {
         SimplicialMap {
-            map: self.map.iter().map(|(v, w)| (*v, other.apply(*w))).collect(),
+            map: self
+                .map
+                .iter()
+                .map(|(v, w)| (*v, other.apply(*w)))
+                .collect(),
         }
     }
 
@@ -226,6 +230,14 @@ impl CarrierMap {
     /// The image subcomplex of a simplex (empty complex if unassigned).
     pub fn image(&self, s: &Simplex) -> Complex {
         self.map.get(s).cloned().unwrap_or_default()
+    }
+
+    /// Borrowed variant of [`CarrierMap::image`]: the stored image
+    /// subcomplex, or `None` if the simplex has no assigned image. The hot
+    /// paths (solver `Δ`-cache fills, obstruction scans) use this to avoid
+    /// cloning a complex per query.
+    pub fn image_ref(&self, s: &Simplex) -> Option<&Complex> {
+        self.map.get(s)
     }
 
     /// Sets the image of a simplex.
@@ -342,7 +354,10 @@ mod tests {
     fn unmapped_vertex_rejected() {
         let (a, b) = colored_pair();
         let f = SimplicialMap::new([(VertexId(0), VertexId(10))]);
-        assert_eq!(f.validate(a.complex(), b.complex()), Err(MapError::Unmapped(VertexId(1))));
+        assert_eq!(
+            f.validate(a.complex(), b.complex()),
+            Err(MapError::Unmapped(VertexId(1)))
+        );
     }
 
     #[test]

@@ -258,8 +258,8 @@ mod tests {
         let (base, g) = standard_simplex(2);
         let mut t = TerminatingSubdivision::new(&base, &g);
         t.advance(); // C_1 = Chr s
-        // Stabilize the central triangle (carrier = whole simplex, all of
-        // whose vertices are interior).
+                     // Stabilize the central triangle (carrier = whole simplex, all of
+                     // whose vertices are interior).
         let central: Vec<Simplex> = t
             .current()
             .complex()
@@ -300,15 +300,13 @@ mod tests {
         // Stabilize everything with all barycentric coordinates >= 0.2
         // (a neighbourhood of the center).
         let geom = t.geometry().clone();
-        let n = t
-            .stabilize_where(|sim| sim.iter().all(|v| geom.coord(v).iter().all(|&x| x >= 0.2)));
+        let n =
+            t.stabilize_where(|sim| sim.iter().all(|v| geom.coord(v).iter().all(|&x| x >= 0.2)));
         assert!(n > 0);
         let before = t.stable_complex().simplex_count();
         t.advance();
         assert_eq!(t.stable_complex().simplex_count(), before);
-        assert!(t
-            .stable_complex()
-            .is_subcomplex_of(t.current().complex()));
+        assert!(t.stable_complex().is_subcomplex_of(t.current().complex()));
     }
 
     #[test]

@@ -71,6 +71,61 @@ proptest! {
         );
     }
 
+    // ---- equivalence properties pinning the facet-table representation ----
+
+    #[test]
+    fn chr_iter_fubini_facet_law(n in 1usize..=2, m in 1usize..=3) {
+        // #facets of Chr^m of an n-simplex is fubini(n+1)^m, and the
+        // subdivision stays pure with Euler characteristic 1 (a disk).
+        let (s, g) = standard_simplex(n);
+        let sd = gact_chromatic::chr_iter(&s, &g, m);
+        let c = sd.complex.complex();
+        prop_assert_eq!(
+            c.count_of_dim(n) as u64,
+            fubini(n + 1).pow(m as u32)
+        );
+        prop_assert!(c.is_pure_of_dim(n));
+        prop_assert_eq!(c.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn carrier_of_simplex_is_union_of_vertex_carriers(n in 1usize..=2, m in 1usize..=2) {
+        let (s, g) = standard_simplex(n);
+        let sd = gact_chromatic::chr_iter(&s, &g, m);
+        let top = gact_chromatic::top_simplex(n);
+        for simplex in sd.complex.complex().iter() {
+            let carrier = sd.simplex_carrier(simplex);
+            // Definition: union over the vertices' carriers.
+            let mut manual: Option<Simplex> = None;
+            for v in simplex.iter() {
+                let vc = &sd.vertex_carrier[&v];
+                manual = Some(match manual {
+                    None => vc.clone(),
+                    Some(acc) => acc.union(vc),
+                });
+            }
+            prop_assert_eq!(&carrier, &manual.unwrap());
+            // Carriers land in the base complex.
+            prop_assert!(carrier.is_face_of(&top));
+            prop_assert!(s.complex().contains(&carrier));
+        }
+    }
+
+    #[test]
+    fn chr_restriction_to_face_is_chr_of_face(face_mask in 1u32..7) {
+        // Chr(s) ∩ Chr(t) = Chr(t) for a face t of the standard 2-simplex:
+        // the restriction has fubini(|t|) top simplices of dimension
+        // dim(t).
+        let (s, g) = standard_simplex(2);
+        let sd = chr(&s, &g);
+        let verts: Vec<u32> = (0..3u32).filter(|i| face_mask >> i & 1 == 1).collect();
+        let t = Simplex::from_iter(verts.into_iter());
+        let restr = sd.restriction_to_face(&t);
+        prop_assert_eq!(restr.count_of_dim(t.dim()) as u64, fubini(t.card()));
+        prop_assert!(restr.is_pure_of_dim(t.dim()));
+        prop_assert!(restr.is_subcomplex_of(sd.complex.complex()));
+    }
+
     #[test]
     fn terminating_subdivision_stable_monotone(stages in 1usize..=2, seed_coord in 0.1f64..0.45) {
         // Whatever we stabilize stays stable and keeps its vertex ids.
@@ -127,9 +182,7 @@ fn chr_of_glued_triangles() {
         .complex
         .complex()
         .iter_dim(1)
-        .filter(|e| {
-            sd.simplex_carrier(e) == Simplex::from_iter([1u32, 2])
-        })
+        .filter(|e| sd.simplex_carrier(e) == Simplex::from_iter([1u32, 2]))
         .count();
     assert_eq!(shared, 3, "glued edge must subdivide consistently");
     // Still a disk (two triangles glued along an edge ≃ a square).

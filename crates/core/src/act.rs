@@ -21,6 +21,7 @@ use crate::solver::{solve, MapProblem, SolveStats};
 
 /// Verdict of the bounded ACT search.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Solvable carries the whole subdivision by design
 pub enum ActVerdict {
     /// Solvable: a map from `Chr^depth I` was found.
     Solvable {
@@ -76,7 +77,9 @@ pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
         if omega.dim() == 0 {
             continue;
         }
-        let allowed = task.allowed(omega);
+        let Some(allowed) = task.allowed_ref(omega) else {
+            continue;
+        };
         if allowed.is_empty() {
             continue;
         }
@@ -90,7 +93,7 @@ pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
         let comp_sets: Vec<Option<usize>> = verts
             .iter()
             .map(|&u| {
-                let img = task.allowed(&Simplex::vertex(u));
+                let img = task.allowed_ref(&Simplex::vertex(u))?;
                 if img.is_empty() {
                     return None;
                 }

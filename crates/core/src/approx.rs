@@ -39,6 +39,7 @@ pub struct Approximation {
 /// Whether every sample point of the closed star of `v` maps into the open
 /// star of some vertex `w` of `B`; returns a satisfying `w` (preferring a
 /// color match when `chromatic` is set).
+#[allow(clippy::too_many_arguments)]
 fn star_target(
     v: VertexId,
     a: &ChromaticComplex,
@@ -89,7 +90,10 @@ fn star_target(
         }
         candidates = Some(match candidates {
             None => vertex_hits,
-            Some(prev) => prev.into_iter().filter(|w| vertex_hits.contains(w)).collect(),
+            Some(prev) => prev
+                .into_iter()
+                .filter(|w| vertex_hits.contains(w))
+                .collect(),
         });
         if candidates.as_ref().map(|c| c.is_empty()).unwrap_or(false) {
             return None;
@@ -132,10 +136,7 @@ pub fn simplicial_approximation(
     chromatic: bool,
     max_subdivisions: usize,
 ) -> Option<Approximation> {
-    let b_locator = ComplexLocator::new(
-        b_geometry,
-        b.complex().facets().iter(),
-    );
+    let b_locator = ComplexLocator::new(b_geometry, b.complex().facets().iter());
     let mut domain = a.clone();
     let mut geometry = a_geometry.clone();
     let mut vertex_carrier: HashMap<VertexId, Simplex> = a
@@ -150,14 +151,7 @@ pub fn simplicial_approximation(
         let mut ok = true;
         for v in domain.complex().vertex_set() {
             match star_target(
-                v,
-                &domain,
-                &geometry,
-                b,
-                b_geometry,
-                &b_locator,
-                f,
-                chromatic,
+                v, &domain, &geometry, b, b_geometry, &b_locator, f, chromatic,
             ) {
                 Some(w) => map.insert(v, w),
                 None => {
@@ -166,16 +160,17 @@ pub fn simplicial_approximation(
                 }
             }
         }
-        if ok && map.validate(domain.complex(), b.complex()).is_ok() {
-            if !chromatic || map.validate_chromatic(&domain, b).is_ok() {
-                return Some(Approximation {
-                    domain,
-                    geometry,
-                    vertex_carrier,
-                    map,
-                    subdivisions: round,
-                });
-            }
+        if ok
+            && map.validate(domain.complex(), b.complex()).is_ok()
+            && (!chromatic || map.validate_chromatic(&domain, b).is_ok())
+        {
+            return Some(Approximation {
+                domain,
+                geometry,
+                vertex_carrier,
+                map,
+                subdivisions: round,
+            });
         }
         if round == max_subdivisions {
             break;
@@ -257,9 +252,7 @@ mod tests {
         // in the (single) top simplex, so the star condition holds after
         // few subdivisions.
         let (s, g) = standard_simplex(2);
-        let f = |x: &[f64]| -> Point {
-            x.iter().map(|c| 0.5 * c + 0.5 / 3.0).collect()
-        };
+        let f = |x: &[f64]| -> Point { x.iter().map(|c| 0.5 * c + 0.5 / 3.0).collect() };
         let approx = simplicial_approximation(&s, &g, &s, &g, &f, false, 3)
             .expect("contraction approximates");
         assert!(is_simplicial_approximation(&approx, &s, &g, &f));

@@ -54,7 +54,10 @@ impl GactCertificate {
         let mut guard = self.locator.lock().expect("locator lock poisoned");
         if guard.is_none() {
             let facets = self.subdivision.stable_complex().facets();
-            *guard = Some(ComplexLocator::new(self.subdivision.geometry(), facets.iter()));
+            *guard = Some(ComplexLocator::new(
+                self.subdivision.geometry(),
+                facets.iter(),
+            ));
         }
         f(guard.as_ref().expect("locator just built"))
     }
@@ -74,9 +77,7 @@ impl GactCertificate {
             let carrier = self.subdivision.simplex_carrier(tau);
             let image = self.map.apply_simplex(tau);
             if !task.allowed(&carrier).contains(&image) {
-                return Err(format!(
-                    "δ({tau:?}) = {image:?} not in Δ({carrier:?})"
-                ));
+                return Err(format!("δ({tau:?}) = {image:?} not in Δ({carrier:?})"));
             }
         }
         Ok(())
@@ -133,11 +134,7 @@ impl GactCertificate {
                 let have: gact_chromatic::ColorSet =
                     chosen.iter().map(|&v| chroma.color(v)).collect();
                 for c in needed.difference(have).iter() {
-                    chosen.push(
-                        chroma
-                            .vertex_of_color(facet, c)
-                            .expect("needed ⊆ χ(facet)"),
-                    );
+                    chosen.push(chroma.vertex_of_color(facet, c).expect("needed ⊆ χ(facet)"));
                 }
                 let tau = Simplex::new(chosen);
                 match self.subdivision.stage_of(&tau) {
@@ -360,10 +357,14 @@ mod tests {
         // it to an incident edge.
         let corner = vec![1.0, 0.0];
         let solo = gact_chromatic::ColorSet::singleton(gact_chromatic::Color(0));
-        let tau = cert.landing_simplex(&[corner.clone()], solo, 9).unwrap();
+        let tau = cert
+            .landing_simplex(std::slice::from_ref(&corner), solo, 9)
+            .unwrap();
         assert_eq!(tau.card(), 1);
         let both = gact_chromatic::ColorSet::full(1);
-        let tau2 = cert.landing_simplex(&[corner.clone()], both, 9).unwrap();
+        let tau2 = cert
+            .landing_simplex(std::slice::from_ref(&corner), both, 9)
+            .unwrap();
         assert_eq!(tau2.card(), 2);
         assert_eq!(
             cert.subdivision.current().chi(&tau2),

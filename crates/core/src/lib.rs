@@ -18,6 +18,6 @@ pub use act::{act_solve, connectivity_obstruction, ActVerdict, Obstruction};
 pub use approx::{is_simplicial_approximation, simplicial_approximation, Approximation};
 pub use gact::{certificate_from_act_map, run_positions, GactCertificate};
 pub use lt::{build_lt_showcase, radial_projection, LtShowcase};
-pub use render::Scene;
 pub use protocol::{verify_protocol_on_runs, CertificateProtocol, RunVerification};
+pub use render::Scene;
 pub use solver::{solve, validate_solution, MapProblem, SolveOutcome, SolveStats};

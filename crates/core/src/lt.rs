@@ -229,8 +229,8 @@ mod tests {
         let affine = lt_task(2, 1);
         // Sample points: interior points are eventually covered; corner
         // points never.
-        assert!(in_output_region(&vec![1.0 / 3.0; 3], &affine));
-        assert!(!in_output_region(&vec![1.0, 0.0, 0.0], &affine));
+        assert!(in_output_region(&[1.0 / 3.0; 3], &affine));
+        assert!(!in_output_region(&[1.0, 0.0, 0.0], &affine));
         assert!(on_forbidden_skeleton(&[1.0, 0.0, 0.0], 2, 1));
         assert!(!on_forbidden_skeleton(&[0.5, 0.5, 0.0], 2, 1));
     }
@@ -293,7 +293,14 @@ mod tests {
     #[test]
     fn lt_solvable_on_sampled_t_resilient_runs() {
         let show = shared_showcase();
-        let mut sampler = RunSampler::new(3, 2024, SamplerConfig { max_prefix: 2, max_cycle: 2 });
+        let mut sampler = RunSampler::new(
+            3,
+            2024,
+            SamplerConfig {
+                max_prefix: 2,
+                max_cycle: 2,
+            },
+        );
         let mut runs = Vec::new();
         let fast_choices: Vec<(ProcessSet, ProcessSet)> = vec![
             (
@@ -334,8 +341,7 @@ mod tests {
         // must (correctly) never decide for it — Δ(corner) is empty.
         let show = shared_showcase();
         let solo = Run::new(3, [], [gact_iis::Round::solo(ProcessId(0))]).unwrap();
-        let reports =
-            verify_protocol_on_runs(&show.certificate, &show.affine.task, &[solo], 12);
+        let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &[solo], 12);
         // Liveness "violation" expected: p0 cannot decide. No task
         // violation though.
         assert!(reports[0]

@@ -48,12 +48,7 @@ impl<'a> CertificateProtocol<'a> {
     /// Position of `(owner, view)` in `|I|`: leaves read the input
     /// geometry; snapshots apply the subdivision formula with the owner's
     /// own sub-view weighted `1/(2m−1)` and the others `2/(2m−1)`.
-    fn coord_of_owned(
-        &self,
-        arena: &ViewArena,
-        owner: gact_iis::ProcessId,
-        view: ViewId,
-    ) -> Point {
+    fn coord_of_owned(&self, arena: &ViewArena, owner: gact_iis::ProcessId, view: ViewId) -> Point {
         if let Some(p) = self.coords.borrow().get(&(owner, view)) {
             return p.clone();
         }
@@ -154,7 +149,11 @@ impl Protocol for CertificateProtocol<'_> {
         // Walk own history oldest-first: the first snapshot landing in a
         // stage-eligible stable simplex decides (and stays decided in all
         // later rounds).
-        for (idx, snap) in self.own_history(ctx.arena, ctx.pid, ctx.view).into_iter().enumerate() {
+        for (idx, snap) in self
+            .own_history(ctx.arena, ctx.pid, ctx.view)
+            .into_iter()
+            .enumerate()
+        {
             if let Some((tau, _)) = self.landing_of(ctx.arena, snap, idx + 1) {
                 let chroma = self.certificate.subdivision.current();
                 let v = chroma

@@ -68,7 +68,13 @@ impl<'a> Scene<'a> {
     }
 
     /// Adds a filled layer of simplices.
-    pub fn layer(&mut self, complex: &Complex, fill: &str, stroke: &str, opacity: f64) -> &mut Self {
+    pub fn layer(
+        &mut self,
+        complex: &Complex,
+        fill: &str,
+        stroke: &str,
+        opacity: f64,
+    ) -> &mut Self {
         let dim = complex.dim().unwrap_or(0).min(2);
         self.layers.push(Layer {
             simplices: complex.iter_dim(dim).cloned().collect(),
@@ -99,10 +105,8 @@ impl<'a> Scene<'a> {
         );
         for layer in &self.layers {
             for s in &layer.simplices {
-                let pts: Vec<(f64, f64)> = s
-                    .iter()
-                    .map(|v| project(self.geometry.coord(v)))
-                    .collect();
+                let pts: Vec<(f64, f64)> =
+                    s.iter().map(|v| project(self.geometry.coord(v))).collect();
                 match pts.len() {
                     1 => {
                         let _ = write!(

@@ -10,15 +10,27 @@
 //! The search is a classical CSP: variables are the vertices of `A`
 //! (domain: same-colored vertices of `O` allowed by the vertex's carrier),
 //! constraints are per-simplex. We use most-constrained-variable ordering
-//! with incremental consistency checks; the complexes the paper exercises
-//! (hundreds to a few thousand simplices) solve in milliseconds, and
-//! unsatisfiability (e.g. consensus) is established by exhaustion.
+//! with incremental consistency checks.
+//!
+//! ## Hot-path representation
+//!
+//! The solver state is fully dense: domain vertices are renumbered to
+//! `0..n` once, and domains, assignments, per-vertex constraint lists and
+//! adjacency all live in flat `Vec`s indexed by that dense id — no
+//! `HashMap` in the search loop. Carriers are interned in a
+//! [`SimplexArena`], the `Δ`-image cache is a `Vec<Complex>` keyed by the
+//! interned carrier id (one `Δ` evaluation per *distinct* carrier), and
+//! candidate images are assembled in a stack buffer (`Simplex` stores up
+//! to 8 vertices inline, so no allocation happens per consistency check).
+//! The complexes the paper exercises (hundreds to a few thousand
+//! simplices) solve in well under a millisecond, and unsatisfiability
+//! (e.g. consensus) is established by exhaustion.
 
 use std::collections::HashMap;
 
 use gact_chromatic::{ChromaticComplex, SimplicialMap};
 use gact_tasks::Task;
-use gact_topology::{Complex, Simplex, VertexId};
+use gact_topology::{Complex, Simplex, SimplexArena, VertexId};
 
 /// A carrier-constrained chromatic-map problem.
 #[derive(Debug)]
@@ -74,34 +86,145 @@ fn simplex_carrier(s: &Simplex, vertex_carrier: &HashMap<VertexId, Simplex>) -> 
     acc
 }
 
+/// Upper bound on the cardinality of a single domain simplex the dense
+/// consistency buffer supports (matches `Simplex::faces`' own limit).
+const MAX_CARD: usize = 28;
+
+const UNASSIGNED: VertexId = VertexId(u32::MAX);
+
+/// Dense solver state shared by the recursive search.
+struct Search<'a> {
+    /// Candidate output vertices per dense domain-vertex id.
+    domains: &'a [Vec<VertexId>],
+    /// Dense domain-vertex id per `VertexId.0` (sentinel `u32::MAX`).
+    dense: &'a [u32],
+    /// Constraint simplices (dim ≥ 1) with their interned carrier ids.
+    simplices: &'a [(Simplex, u32)],
+    /// Constraint indices touching each dense vertex id.
+    per_vertex: &'a [Vec<u32>],
+    /// `Δ` images keyed by interned carrier id (borrowed from the task).
+    images: &'a [&'a Complex],
+    /// Variable order (dense ids).
+    order: &'a [u32],
+    /// Current partial assignment (dense id → output vertex or sentinel).
+    assignment: Vec<VertexId>,
+    stats: SolveStats,
+}
+
+impl Search<'_> {
+    /// Checks every constraint simplex touching `vi` against the current
+    /// assignment: fully assigned simplices must map into their `Δ` image;
+    /// simplices with exactly one hole must still admit some filler
+    /// (one-step lookahead).
+    fn consistent(&self, vi: usize) -> bool {
+        let mut image_buf = [VertexId(0); MAX_CARD];
+        for &si in &self.per_vertex[vi] {
+            let (s, carrier_id) = &self.simplices[si as usize];
+            let mut len = 0usize;
+            let mut hole: usize = usize::MAX;
+            let mut holes = 0u32;
+            for w in s.iter() {
+                let wi = self.dense[w.0 as usize] as usize;
+                let x = self.assignment[wi];
+                if x == UNASSIGNED {
+                    holes += 1;
+                    if holes > 1 {
+                        break;
+                    }
+                    hole = wi;
+                } else {
+                    image_buf[len] = x;
+                    len += 1;
+                }
+            }
+            let allowed = &self.images[*carrier_id as usize];
+            if holes == 0 {
+                let image = Simplex::new(image_buf[..len].iter().copied());
+                if !allowed.contains(&image) {
+                    return false;
+                }
+            } else if holes == 1 {
+                let feasible = self.domains[hole].iter().any(|&cand| {
+                    image_buf[len] = cand;
+                    allowed.contains(&Simplex::new(image_buf[..=len].iter().copied()))
+                });
+                if !feasible {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn backtrack(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let vi = self.order[depth] as usize;
+        for ci in 0..self.domains[vi].len() {
+            let w = self.domains[vi][ci];
+            self.stats.assignments += 1;
+            self.assignment[vi] = w;
+            if self.consistent(vi) && self.backtrack(depth + 1) {
+                return true;
+            }
+            self.assignment[vi] = UNASSIGNED;
+            self.stats.backtracks += 1;
+        }
+        false
+    }
+}
+
+/// Candidate-ordering hint passed to [`solve`]: maps a domain vertex and
+/// its candidate list to a reordered candidate list.
+pub type DomainHint = dyn Fn(VertexId, &[VertexId]) -> Vec<VertexId>;
+
 /// Decides existence of `δ : A → O` with `δ(σ) ∈ Δ(carrier σ)`.
 ///
 /// `domain_hint` optionally orders each vertex's candidate list (e.g. by
 /// geometric proximity under a continuous map being approximated); it does
 /// not restrict the domain, only its exploration order.
-pub fn solve(
-    problem: &MapProblem<'_>,
-    domain_hint: Option<&dyn Fn(VertexId, &[VertexId]) -> Vec<VertexId>>,
-) -> SolveOutcome {
+pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> SolveOutcome {
     let a = problem.domain;
     let task = problem.task;
 
-    // Precompute Δ images per distinct carrier.
-    let mut delta_cache: HashMap<Simplex, Complex> = HashMap::new();
-    let image_of = |carrier: &Simplex, cache: &mut HashMap<Simplex, Complex>| {
-        if !cache.contains_key(carrier) {
-            cache.insert(carrier.clone(), task.allowed(carrier));
+    // Dense renumbering of the domain vertices (vertex ids are allocated
+    // densely by the subdivision machinery, so the lookup table is small).
+    let vertices: Vec<VertexId> = a.complex().vertex_set().into_iter().collect();
+    let n = vertices.len();
+    let max_id = vertices.last().map(|v| v.0 as usize + 1).unwrap_or(0);
+    let mut dense = vec![u32::MAX; max_id];
+    for (i, v) in vertices.iter().enumerate() {
+        dense[v.0 as usize] = i as u32;
+    }
+
+    // Δ images memoized per *interned carrier id*: one `Δ` lookup (no
+    // clone — the image complexes are borrowed from the task) per distinct
+    // carrier, and constraints refer to their carrier by `u32`.
+    fn image_id<'t>(
+        carrier: &Simplex,
+        carriers: &mut SimplexArena,
+        images: &mut Vec<&'t Complex>,
+        task: &'t Task,
+        empty: &'t Complex,
+    ) -> u32 {
+        let id = carriers.intern(carrier);
+        if id.index() == images.len() {
+            images.push(task.allowed_ref(carrier).unwrap_or(empty));
         }
-    };
+        id.0
+    }
+    let empty_image = Complex::new();
+    let mut carriers = SimplexArena::new();
+    let mut images: Vec<&Complex> = Vec::new();
 
     // Vertex domains: same-colored output vertices allowed by the vertex's
     // carrier.
-    let vertices: Vec<VertexId> = a.complex().vertex_set().into_iter().collect();
-    let mut domains: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    let mut domains: Vec<Vec<VertexId>> = Vec::with_capacity(n);
     for &v in &vertices {
         let carrier = &problem.vertex_carrier[&v];
-        image_of(carrier, &mut delta_cache);
-        let allowed = &delta_cache[carrier];
+        let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
+        let allowed = &images[cid as usize];
         let color = a.color(v);
         let mut cands: Vec<VertexId> = allowed
             .vertex_set()
@@ -114,25 +237,28 @@ pub fn solve(
         if cands.is_empty() {
             return SolveOutcome::Unsatisfiable(SolveStats::default());
         }
-        domains.insert(v, cands);
+        domains.push(cands);
     }
 
-    // All simplices grouped per vertex, with their carriers and Δ images
-    // precomputed.
-    let mut simplices: Vec<(Simplex, Simplex)> = Vec::new(); // (simplex, carrier)
+    // Constraint simplices (dim ≥ 1) with carriers memoized per interned
+    // simplex, and the per-vertex constraint index.
+    let mut simplices: Vec<(Simplex, u32)> = Vec::new();
+    let mut per_vertex: Vec<Vec<u32>> = vec![Vec::new(); n];
     for s in a.complex().iter() {
         if s.dim() == 0 {
             continue;
         }
+        assert!(
+            s.card() <= MAX_CARD,
+            "domain simplex too large for the solver"
+        );
         let carrier = simplex_carrier(s, problem.vertex_carrier);
-        image_of(&carrier, &mut delta_cache);
-        simplices.push((s.clone(), carrier));
-    }
-    let mut per_vertex: HashMap<VertexId, Vec<usize>> = HashMap::new();
-    for (i, (s, _)) in simplices.iter().enumerate() {
+        let cid = image_id(&carrier, &mut carriers, &mut images, task, &empty_image);
+        let si = simplices.len() as u32;
         for v in s.iter() {
-            per_vertex.entry(v).or_default().push(i);
+            per_vertex[dense[v.0 as usize] as usize].push(si);
         }
+        simplices.push((s.clone(), cid));
     }
 
     // Variable order: adjacency-guided. Start from the most constrained
@@ -140,149 +266,55 @@ pub fn solve(
     // ordered neighbours (ties: smallest domain). On subdivision complexes
     // this makes every assignment immediately constrained by its simplex
     // neighbours, keeping backtracking shallow.
-    let mut neighbours: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    let mut neighbours: Vec<Vec<u32>> = vec![Vec::new(); n];
     for e in a.complex().iter_dim(1) {
         let vs = e.vertices();
-        neighbours.entry(vs[0]).or_default().push(vs[1]);
-        neighbours.entry(vs[1]).or_default().push(vs[0]);
+        let (i, j) = (dense[vs[0].0 as usize], dense[vs[1].0 as usize]);
+        neighbours[i as usize].push(j);
+        neighbours[j as usize].push(i);
     }
-    let mut order: Vec<VertexId> = Vec::with_capacity(vertices.len());
+    let mut order: Vec<u32> = Vec::with_capacity(n);
     {
-        let mut placed: HashMap<VertexId, bool> =
-            vertices.iter().map(|v| (*v, false)).collect();
-        let mut placed_neighbours: HashMap<VertexId, usize> =
-            vertices.iter().map(|v| (*v, 0)).collect();
-        while order.len() < vertices.len() {
-            let next = *vertices
-                .iter()
-                .filter(|v| !placed[v])
-                .max_by_key(|v| {
+        let mut placed = vec![false; n];
+        let mut placed_neighbours = vec![0usize; n];
+        while order.len() < n {
+            let next = (0..n)
+                .filter(|&i| !placed[i])
+                .max_by_key(|&i| {
                     (
-                        placed_neighbours[v],
-                        std::cmp::Reverse(domains[v].len()),
-                        std::cmp::Reverse(v.0),
+                        placed_neighbours[i],
+                        std::cmp::Reverse(domains[i].len()),
+                        std::cmp::Reverse(vertices[i].0),
                     )
                 })
                 .expect("some vertex unplaced");
-            placed.insert(next, true);
-            order.push(next);
-            if let Some(ns) = neighbours.get(&next) {
-                for w in ns {
-                    if let Some(c) = placed_neighbours.get_mut(w) {
-                        *c += 1;
-                    }
-                }
+            placed[next] = true;
+            order.push(next as u32);
+            for &w in &neighbours[next] {
+                placed_neighbours[w as usize] += 1;
             }
         }
     }
 
-    let mut assignment: HashMap<VertexId, VertexId> = HashMap::new();
-    let mut stats = SolveStats::default();
-
-    #[allow(clippy::too_many_arguments)]
-    fn consistent(
-        v: VertexId,
-        assignment: &HashMap<VertexId, VertexId>,
-        per_vertex: &HashMap<VertexId, Vec<usize>>,
-        simplices: &[(Simplex, Simplex)],
-        delta_cache: &HashMap<Simplex, Complex>,
-        domains: &HashMap<VertexId, Vec<VertexId>>,
-    ) -> bool {
-        let Some(idxs) = per_vertex.get(&v) else {
-            return true;
-        };
-        for &i in idxs {
-            let (s, carrier) = &simplices[i];
-            let mut image = Vec::with_capacity(s.card());
-            let mut unassigned: Option<VertexId> = None;
-            let mut complete = true;
-            for w in s.iter() {
-                match assignment.get(&w) {
-                    Some(x) => image.push(*x),
-                    None => {
-                        complete = false;
-                        if unassigned.is_none() {
-                            unassigned = Some(w);
-                        } else {
-                            unassigned = None; // more than one: skip lookahead
-                            break;
-                        }
-                    }
-                }
-            }
-            if complete {
-                let image = Simplex::new(image);
-                if !delta_cache[carrier].contains(&image) {
-                    return false;
-                }
-                continue;
-            }
-            // One-step lookahead: a simplex with exactly one hole must
-            // still admit some filler.
-            if let Some(w) = unassigned {
-                let allowed = &delta_cache[carrier];
-                let feasible = domains[&w].iter().any(|&cand| {
-                    let mut im = image.clone();
-                    im.push(cand);
-                    allowed.contains(&Simplex::new(im))
-                });
-                if !feasible {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn backtrack(
-        depth: usize,
-        order: &[VertexId],
-        domains: &HashMap<VertexId, Vec<VertexId>>,
-        assignment: &mut HashMap<VertexId, VertexId>,
-        per_vertex: &HashMap<VertexId, Vec<usize>>,
-        simplices: &[(Simplex, Simplex)],
-        delta_cache: &HashMap<Simplex, Complex>,
-        stats: &mut SolveStats,
-    ) -> bool {
-        if depth == order.len() {
-            return true;
-        }
-        let v = order[depth];
-        for &w in &domains[&v] {
-            stats.assignments += 1;
-            assignment.insert(v, w);
-            if consistent(v, assignment, per_vertex, simplices, delta_cache, domains)
-                && backtrack(
-                    depth + 1,
-                    order,
-                    domains,
-                    assignment,
-                    per_vertex,
-                    simplices,
-                    delta_cache,
-                    stats,
-                )
-            {
-                return true;
-            }
-            assignment.remove(&v);
-            stats.backtracks += 1;
-        }
-        false
-    }
-
-    let found = backtrack(
-        0,
-        &order,
-        &domains,
-        &mut assignment,
-        &per_vertex,
-        &simplices,
-        &delta_cache,
-        &mut stats,
-    );
+    let mut search = Search {
+        domains: &domains,
+        dense: &dense,
+        simplices: &simplices,
+        per_vertex: &per_vertex,
+        images: &images,
+        order: &order,
+        assignment: vec![UNASSIGNED; n],
+        stats: SolveStats::default(),
+    };
+    let found = search.backtrack(0);
+    let stats = search.stats;
     if found {
-        let map = SimplicialMap::new(assignment);
+        let map = SimplicialMap::new(
+            vertices
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, search.assignment[i])),
+        );
         debug_assert!(map.validate_chromatic(a, &task.output).is_ok());
         SolveOutcome::Map(map, stats)
     } else {
@@ -411,5 +443,21 @@ mod tests {
         let out = solve(&problem, Some(&reverse));
         assert!(out.is_solvable());
         validate_solution(&problem, out.map().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn empty_domain_is_trivially_solvable() {
+        // Degenerate but legal: an empty domain complex has the empty map.
+        let at = full_subdivision_task(1, 0);
+        let empty = gact_chromatic::ChromaticComplex::new(Complex::new(), []).unwrap();
+        let vertex_carrier = HashMap::new();
+        let problem = MapProblem {
+            domain: &empty,
+            vertex_carrier: &vertex_carrier,
+            task: &at.task,
+        };
+        let out = solve(&problem, None);
+        assert!(out.is_solvable());
+        assert!(out.map().unwrap().is_empty());
     }
 }

@@ -283,8 +283,12 @@ mod tests {
     }
 
     fn round(blocks: &[&[u8]]) -> Round {
-        Round::from_blocks(blocks.iter().map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()))
-            .unwrap()
+        Round::from_blocks(
+            blocks
+                .iter()
+                .map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()),
+        )
+        .unwrap()
     }
 
     /// Outputs the smallest input value seen, after a fixed round.
@@ -306,7 +310,11 @@ mod tests {
     fn min_input(arena: &ViewArena, view: ViewId) -> u32 {
         match arena.node(view) {
             ViewNode::Input { value, .. } => *value,
-            ViewNode::Snap(subs) => subs.iter().map(|&(_, s)| min_input(arena, s)).min().unwrap(),
+            ViewNode::Snap(subs) => subs
+                .iter()
+                .map(|&(_, s)| min_input(arena, s))
+                .min()
+                .unwrap(),
         }
     }
 
@@ -409,7 +417,12 @@ mod tests {
     #[test]
     fn max_rounds_truncates() {
         let input = InputAssignment::standard_corners(1);
-        let exec = execute(&MinSeen { after: 5 }, &input, vec![round(&[&[0, 1]]); 10], 3);
+        let exec = execute(
+            &MinSeen { after: 5 },
+            &input,
+            vec![round(&[&[0, 1]]); 10],
+            3,
+        );
         assert_eq!(exec.rounds_run, 3);
         assert!(exec.outputs.is_empty());
     }

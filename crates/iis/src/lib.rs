@@ -28,14 +28,14 @@
 
 pub mod executor;
 pub mod process;
-pub mod schedule;
 pub mod round;
 pub mod run;
+pub mod schedule;
 pub mod view;
 
 pub use executor::{execute, Decision, Execution, InputAssignment, Protocol, StepContext};
 pub use process::{ProcessId, ProcessSet};
 pub use round::{Round, RoundError};
-pub use schedule::{enumerate_full_schedules, enumerate_schedules};
 pub use run::{Run, RunError};
+pub use schedule::{enumerate_full_schedules, enumerate_schedules};
 pub use view::{chr_chain, run_subdivision_vertices, run_views, ViewArena, ViewId, ViewNode};

@@ -203,9 +203,9 @@ impl Run {
         if self.same_run(other) {
             return 0.0;
         }
-        let k = (0..).find(|&k| self.round(k) != other.round(k)).expect(
-            "runs differ, so some round differs",
-        );
+        let k = (0..)
+            .find(|&k| self.round(k) != other.round(k))
+            .expect("runs differ, so some round differs");
         1.0 / (1.0 + k as f64)
     }
 
@@ -341,8 +341,12 @@ mod tests {
     }
 
     fn round(blocks: &[&[u8]]) -> Round {
-        Round::from_blocks(blocks.iter().map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()))
-            .unwrap()
+        Round::from_blocks(
+            blocks
+                .iter()
+                .map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -470,8 +474,12 @@ mod tests {
 
     #[test]
     fn rounds_indexing() {
-        let r = Run::new(3, [round(&[&[0, 1, 2]])], [round(&[&[0], &[1]]), round(&[&[1], &[0]])])
-            .unwrap();
+        let r = Run::new(
+            3,
+            [round(&[&[0, 1, 2]])],
+            [round(&[&[0], &[1]]), round(&[&[1], &[0]])],
+        )
+        .unwrap();
         assert_eq!(r.round(0), &round(&[&[0, 1, 2]]));
         assert_eq!(r.round(1), &round(&[&[0], &[1]]));
         assert_eq!(r.round(2), &round(&[&[1], &[0]]));

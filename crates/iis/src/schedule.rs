@@ -83,10 +83,7 @@ mod tests {
     #[test]
     fn full_schedule_counts() {
         let full = ProcessSet::full(3);
-        assert_eq!(
-            enumerate_full_schedules(full, 1).len() as u64,
-            fubini(3)
-        );
+        assert_eq!(enumerate_full_schedules(full, 1).len() as u64, fubini(3));
         assert_eq!(
             enumerate_full_schedules(full, 2).len() as u64,
             fubini(3) * fubini(3)

@@ -110,8 +110,10 @@ impl ViewArena {
         match self.node(id) {
             ViewNode::Input { pid, value } => format!("({pid},{value})"),
             ViewNode::Snap(subs) => {
-                let inner: Vec<String> =
-                    subs.iter().map(|&(q, s)| format!("{q}:{}", self.render(s))).collect();
+                let inner: Vec<String> = subs
+                    .iter()
+                    .map(|&(q, s)| format!("{q}:{}", self.render(s)))
+                    .collect();
                 format!("{{{}}}", inner.join(","))
             }
         }
@@ -244,8 +246,12 @@ mod tests {
     }
 
     fn round(blocks: &[&[u8]]) -> Round {
-        Round::from_blocks(blocks.iter().map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()))
-            .unwrap()
+        Round::from_blocks(
+            blocks
+                .iter()
+                .map(|b| b.iter().map(|&i| pid(i)).collect::<Vec<_>>()),
+        )
+        .unwrap()
     }
 
     fn identity_inputs(n: usize) -> HashMap<ProcessId, u32> {
@@ -255,8 +261,14 @@ mod tests {
     #[test]
     fn interning_dedups() {
         let mut a = ViewArena::new();
-        let l0 = a.intern(ViewNode::Input { pid: pid(0), value: 7 });
-        let l0b = a.intern(ViewNode::Input { pid: pid(0), value: 7 });
+        let l0 = a.intern(ViewNode::Input {
+            pid: pid(0),
+            value: 7,
+        });
+        let l0b = a.intern(ViewNode::Input {
+            pid: pid(0),
+            value: 7,
+        });
         assert_eq!(l0, l0b);
         let s1 = a.intern(ViewNode::Snap(vec![(pid(0), l0)]));
         let s2 = a.intern(ViewNode::Snap(vec![(pid(0), l0), (pid(0), l0)]));
@@ -316,8 +328,9 @@ mod tests {
         let n = 1usize; // processes p0, p1
         let (base, geom) = standard_simplex(n);
         let chain = chr_chain(&base, &geom, 2);
-        let omega: HashMap<ProcessId, VertexId> =
-            (0..=n as u8).map(|i| (pid(i), VertexId(i as u32))).collect();
+        let omega: HashMap<ProcessId, VertexId> = (0..=n as u8)
+            .map(|i| (pid(i), VertexId(i as u32)))
+            .collect();
         let full = ProcessSet::full(n + 1);
         // Depth-indexed: the bijection is between depth-k views and
         // vertices of Chr^k. (Across depths, a solo process's view at
@@ -357,8 +370,9 @@ mod tests {
         let n = 2usize;
         let (base, geom) = standard_simplex(n);
         let chain = chr_chain(&base, &geom, 2);
-        let omega: HashMap<ProcessId, VertexId> =
-            (0..=n as u8).map(|i| (pid(i), VertexId(i as u32))).collect();
+        let omega: HashMap<ProcessId, VertexId> = (0..=n as u8)
+            .map(|i| (pid(i), VertexId(i as u32)))
+            .collect();
         let rounds = [round(&[&[1], &[0, 2]]), round(&[&[0, 1, 2]])];
         let verts = run_subdivision_vertices(&rounds, &omega, &chain);
         for k in 1..=2 {

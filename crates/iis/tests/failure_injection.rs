@@ -123,18 +123,11 @@ fn outputs_only_grow_with_information() {
     // If p's round-k snapshot is contained in q's, p's heard-of set is a
     // subset of q's (information monotonicity along the block order).
     let input = InputAssignment::standard_corners(2);
-    let r = Round::from_blocks([
-        vec![ProcessId(2)],
-        vec![ProcessId(0)],
-        vec![ProcessId(1)],
-    ])
-    .unwrap();
+    let r =
+        Round::from_blocks([vec![ProcessId(2)], vec![ProcessId(0)], vec![ProcessId(1)]]).unwrap();
     let exec = execute(&HeardOf { after: 1 }, &input, vec![r.clone()], 2);
-    let by: HashMap<ProcessId, ProcessSet> = exec
-        .outputs
-        .iter()
-        .map(|(p, d)| (*p, d.value))
-        .collect();
+    let by: HashMap<ProcessId, ProcessSet> =
+        exec.outputs.iter().map(|(p, d)| (*p, d.value)).collect();
     assert!(by[&ProcessId(2)].is_subset_of(by[&ProcessId(0)]));
     assert!(by[&ProcessId(0)].is_subset_of(by[&ProcessId(1)]));
 }

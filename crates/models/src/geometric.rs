@@ -66,11 +66,9 @@ pub fn geometric_obstruction_free(
     n_procs: usize,
     k: usize,
 ) -> GeometricModel<impl Fn(&Point) -> bool> {
-    GeometricModel::new(
-        n_procs,
-        &format!("support ≤ {k}"),
-        move |p: &Point| p.iter().filter(|&&x| x > 1e-9).count() <= k,
-    )
+    GeometricModel::new(n_procs, &format!("support ≤ {k}"), move |p: &Point| {
+        p.iter().filter(|&&x| x > 1e-9).count() <= k
+    })
 }
 
 #[cfg(test)]
@@ -117,12 +115,7 @@ mod tests {
         });
         assert!(ball.contains(&Run::fair(3)));
         // A solo run projects to a corner: outside the ball.
-        let solo = Run::new(
-            3,
-            [],
-            [gact_iis::Round::solo(gact_iis::ProcessId(0))],
-        )
-        .unwrap();
+        let solo = Run::new(3, [], [gact_iis::Round::solo(gact_iis::ProcessId(0))]).unwrap();
         assert!(!ball.contains(&solo));
         assert!(ball.name().contains("B(bary, 0.5)"));
     }

@@ -27,10 +27,9 @@ pub mod model;
 pub mod projection;
 pub mod sampler;
 
-pub use model::{
-    Adversary, FastCompanion, ModelIntersection, ObstructionFree, SubIisModel, TResilient,
-    WaitFree,
-};
 pub use geometric::{geometric_obstruction_free, geometric_t_resilient, GeometricModel};
+pub use model::{
+    Adversary, FastCompanion, ModelIntersection, ObstructionFree, SubIisModel, TResilient, WaitFree,
+};
 pub use projection::{affine_projection, canonical_coloring_at_depth};
 pub use sampler::{enumerate_runs, RunSampler, SamplerConfig};

@@ -76,11 +76,7 @@ fn diameter(pos: &HashMap<ProcessId, Point>, set: ProcessSet) -> f64 {
     let mut d: f64 = 0.0;
     for i in 0..pts.len() {
         for j in i + 1..pts.len() {
-            let dist: f64 = pts[i]
-                .iter()
-                .zip(pts[j])
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let dist: f64 = pts[i].iter().zip(pts[j]).map(|(a, b)| (a - b).abs()).sum();
             d = d.max(dist);
         }
     }
@@ -138,7 +134,10 @@ mod tests {
         // All processes symmetric: the projection is the barycenter.
         let p = affine_projection(&Run::fair(3));
         for x in &p {
-            assert!((x - 1.0 / 3.0).abs() < 1e-9, "expected barycenter, got {p:?}");
+            assert!(
+                (x - 1.0 / 3.0).abs() < 1e-9,
+                "expected barycenter, got {p:?}"
+            );
         }
     }
 
@@ -172,7 +171,10 @@ mod tests {
         // χ(π(r)) = fast(r) (§5).
         let cases = [
             (Run::fair(3), pset(&[0, 1, 2])),
-            (Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(), pset(&[0])),
+            (
+                Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(),
+                pset(&[0]),
+            ),
             (
                 Run::new(3, [], [round(&[&[0, 1], &[2]])]).unwrap(),
                 pset(&[0, 1]),

@@ -15,12 +15,7 @@ pub fn enumerate_runs(n_procs: usize, prefix_len: usize) -> Vec<Run> {
     let full = ProcessSet::full(n_procs);
     let mut out = Vec::new();
     // Choose a nested chain of participant sets of length prefix_len + 1.
-    fn rec(
-        n_procs: usize,
-        chain: &mut Vec<ProcessSet>,
-        remaining: usize,
-        out: &mut Vec<Run>,
-    ) {
+    fn rec(n_procs: usize, chain: &mut Vec<ProcessSet>, remaining: usize, out: &mut Vec<Run>) {
         if remaining == 0 {
             // Enumerate the rounds per chain element.
             let mut round_choices: Vec<Vec<Round>> =
@@ -100,10 +95,7 @@ impl RunSampler {
 
     fn random_subset(&mut self, of: ProcessSet, nonempty: bool) -> ProcessSet {
         loop {
-            let s: ProcessSet = of
-                .iter()
-                .filter(|_| self.rng.gen_bool(0.6))
-                .collect();
+            let s: ProcessSet = of.iter().filter(|_| self.rng.gen_bool(0.6)).collect();
             if !s.is_empty() || !nonempty {
                 return s;
             }
@@ -192,9 +184,7 @@ impl RunSampler {
             let mut blocks: Vec<ProcessSet> = if i == 0 {
                 vec![fast]
             } else {
-                self.random_round(fast)
-                    .blocks()
-                    .to_vec()
+                self.random_round(fast).blocks().to_vec()
             };
             if !trailing.is_empty() {
                 blocks.push(trailing);

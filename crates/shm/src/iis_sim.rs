@@ -79,9 +79,7 @@ pub fn simulate_iis(
         // steps.
         let enabled: Vec<ProcessId> = participants
             .iter()
-            .filter(|p| {
-                layer_of[p] < layers && objects[layer_of[p]].is_enabled(*p)
-            })
+            .filter(|p| layer_of[p] < layers && objects[layer_of[p]].is_enabled(*p))
             .collect();
         if enabled.is_empty() {
             break;
@@ -220,8 +218,7 @@ mod tests {
             if !sim.stuck.is_empty() || sim.rounds.len() < 3 {
                 continue;
             }
-            let inputs: HashMap<ProcessId, u32> =
-                parts.iter().map(|p| (p, p.0 as u32)).collect();
+            let inputs: HashMap<ProcessId, u32> = parts.iter().map(|p| (p, p.0 as u32)).collect();
             let mut arena = ViewArena::new();
             let replay = run_views(&sim.rounds, &inputs, &mut arena);
             for (k, layer) in sim.views.iter().enumerate() {

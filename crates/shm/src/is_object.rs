@@ -217,7 +217,10 @@ mod tests {
                 );
                 // Immediacy.
                 if vp.contains(q) {
-                    assert!(vq.is_subset_of(vp), "immediacy broken for {q} in view of {p}");
+                    assert!(
+                        vq.is_subset_of(vp),
+                        "immediacy broken for {q} in view of {p}"
+                    );
                 }
             }
         }

@@ -23,14 +23,14 @@
 //! assert_eq!(sim.rounds.len(), 2);
 //! ```
 
-pub mod is_object;
 pub mod iis_sim;
+pub mod is_object;
 pub mod memory;
 pub mod scheduler;
 pub mod snapshot;
 
-pub use is_object::{run_is, IsObject};
 pub use iis_sim::{simulate_iis, SimulatedIis};
+pub use is_object::{run_is, IsObject};
 pub use memory::RegisterArray;
 pub use scheduler::{RandomScheduler, RoundRobin, Scheduler, ScriptedScheduler};
 pub use snapshot::SnapshotObject;

@@ -26,10 +26,7 @@ impl Scheduler for RoundRobin {
     fn next(&mut self, enabled: &[ProcessId]) -> Option<ProcessId> {
         let pick = match self.last {
             None => enabled[0],
-            Some(last) => *enabled
-                .iter()
-                .find(|p| **p > last)
-                .unwrap_or(&enabled[0]),
+            Some(last) => *enabled.iter().find(|p| **p > last).unwrap_or(&enabled[0]),
         };
         self.last = Some(pick);
         Some(pick)

@@ -39,11 +39,7 @@ impl<T: Clone + PartialEq> SnapshotObject<T> {
 
     /// `update(p, v)`: one write step.
     pub fn update(&mut self, p: ProcessId, value: T) {
-        let seq = self
-            .registers
-            .read(p)
-            .map(|c| c.seq + 1)
-            .unwrap_or(0);
+        let seq = self.registers.read(p).map(|c| c.seq + 1).unwrap_or(0);
         self.registers.write(p, Cell { seq, value });
     }
 

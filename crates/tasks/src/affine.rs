@@ -10,8 +10,8 @@
 //!   `(n−t−1)`-dimensional face of `s`, solvable `t`-resiliently
 //!   (Proposition 9.2).
 
-use gact_chromatic::{chr_iter, CarrierMap, ChromaticSubdivision};
 use gact_chromatic::standard_simplex;
+use gact_chromatic::{chr_iter, CarrierMap, ChromaticSubdivision};
 use gact_topology::{Complex, Simplex};
 
 use crate::task::Task;
@@ -268,10 +268,7 @@ mod tests {
         // t = n: the excluded skeleton has dimension −1, so L_n = Chr² s.
         let at = lt_task(2, 2);
         let full = full_subdivision_task(2, 2);
-        assert_eq!(
-            at.selected.count_of_dim(2),
-            full.selected.count_of_dim(2)
-        );
+        assert_eq!(at.selected.count_of_dim(2), full.selected.count_of_dim(2));
     }
 
     #[test]

@@ -215,10 +215,7 @@ mod tests {
         // Allowed facets: both decide 0, or both decide 1.
         assert_eq!(allowed.count_of_dim(1), 2);
         // Disagreement is not allowed.
-        let disagree = Simplex::new([
-            pseudosphere_vertex(0, 0, 2),
-            pseudosphere_vertex(1, 1, 2),
-        ]);
+        let disagree = Simplex::new([pseudosphere_vertex(0, 0, 2), pseudosphere_vertex(1, 1, 2)]);
         assert!(!allowed.contains(&disagree));
     }
 
@@ -229,10 +226,7 @@ mod tests {
         let omega = assignment_facet(1, 2, &[1, 1]);
         let allowed = t.allowed(&omega);
         assert_eq!(allowed.count_of_dim(1), 1);
-        let both_one = Simplex::new([
-            pseudosphere_vertex(0, 1, 2),
-            pseudosphere_vertex(1, 1, 2),
-        ]);
+        let both_one = Simplex::new([pseudosphere_vertex(0, 1, 2), pseudosphere_vertex(1, 1, 2)]);
         assert!(allowed.contains(&both_one));
     }
 
@@ -284,8 +278,9 @@ mod tests {
         .collect();
         assert!(t.check_outputs(&omega, ProcessSet::full(2), &bad).is_err());
         // Solo participant deciding its own value is fine.
-        let solo: HashMap<ProcessId, VertexId> =
-            [(ProcessId(0), pseudosphere_vertex(0, 0, 2))].into_iter().collect();
+        let solo: HashMap<ProcessId, VertexId> = [(ProcessId(0), pseudosphere_vertex(0, 0, 2))]
+            .into_iter()
+            .collect();
         t.check_outputs(&omega, ProcessSet::singleton(ProcessId(0)), &solo)
             .unwrap();
     }

@@ -138,7 +138,11 @@ impl Protocol for CommitAdopt {
             .filter(|s| s.unanimous)
             .map(|s| s.candidate)
             .min();
-        let fallback = summaries.iter().map(|s| s.candidate).min().expect("non-empty");
+        let fallback = summaries
+            .iter()
+            .map(|s| s.candidate)
+            .min()
+            .expect("non-empty");
         Some(CaOutput {
             grade: Grade::Adopt,
             value: true_pref.unwrap_or(fallback),
@@ -158,7 +162,10 @@ pub fn check_commit_adopt(
     let proposed: Vec<u32> = proposals.values().copied().collect();
     for (p, out) in outputs {
         if !proposed.contains(&out.value) {
-            violations.push(format!("validity: {p} output non-proposed value {}", out.value));
+            violations.push(format!(
+                "validity: {p} output non-proposed value {}",
+                out.value
+            ));
         }
     }
     let committed: Vec<u32> = outputs
@@ -176,7 +183,11 @@ pub fn check_commit_adopt(
             }
         }
     }
-    let all_equal = proposals.values().collect::<std::collections::BTreeSet<_>>().len() == 1;
+    let all_equal = proposals
+        .values()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        == 1;
     if all_equal {
         for (p, out) in outputs {
             if out.grade != Grade::Commit {
@@ -227,11 +238,8 @@ mod tests {
                     .iter()
                     .map(|p| (p, values[p.0 as usize]))
                     .collect();
-                let outputs: HashMap<ProcessId, CaOutput> = exec
-                    .outputs
-                    .iter()
-                    .map(|(p, d)| (*p, d.value))
-                    .collect();
+                let outputs: HashMap<ProcessId, CaOutput> =
+                    exec.outputs.iter().map(|(p, d)| (*p, d.value)).collect();
                 let violations = check_commit_adopt(&proposals, &outputs);
                 assert!(
                     violations.is_empty(),
@@ -253,11 +261,8 @@ mod tests {
                     .iter()
                     .map(|p| (p, values[p.0 as usize]))
                     .collect();
-                let outputs: HashMap<ProcessId, CaOutput> = exec
-                    .outputs
-                    .iter()
-                    .map(|(p, d)| (*p, d.value))
-                    .collect();
+                let outputs: HashMap<ProcessId, CaOutput> =
+                    exec.outputs.iter().map(|(p, d)| (*p, d.value)).collect();
                 let violations = check_commit_adopt(&proposals, &outputs);
                 assert!(
                     violations.is_empty(),

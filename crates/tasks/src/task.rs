@@ -110,6 +110,13 @@ impl Task {
         self.delta.image(input_simplex)
     }
 
+    /// Borrowed variant of [`Task::allowed`]: `None` when `Δ` assigns no
+    /// image (treated as the empty complex by callers). Avoids cloning on
+    /// the solver's `Δ`-cache fills.
+    pub fn allowed_ref(&self, input_simplex: &Simplex) -> Option<&Complex> {
+        self.delta.image_ref(input_simplex)
+    }
+
     /// The effective carrier of a run: `ω ∩ χ^{-1}(part)` — the face of the
     /// input simplex spanned by the *participating* processes (Def. 4.1).
     pub fn effective_carrier(&self, omega: &Simplex, participants: ProcessSet) -> Option<Simplex> {
@@ -250,13 +257,12 @@ mod tests {
     fn output_check_accepts_correct_outputs() {
         let t = identity_task(2);
         let omega = s(&[0, 1, 2]);
-        let outputs: HashMap<ProcessId, VertexId> = [
-            (ProcessId(0), VertexId(0)),
-            (ProcessId(2), VertexId(2)),
-        ]
-        .into_iter()
-        .collect();
-        t.check_outputs(&omega, ProcessSet::full(3), &outputs).unwrap();
+        let outputs: HashMap<ProcessId, VertexId> =
+            [(ProcessId(0), VertexId(0)), (ProcessId(2), VertexId(2))]
+                .into_iter()
+                .collect();
+        t.check_outputs(&omega, ProcessSet::full(3), &outputs)
+            .unwrap();
     }
 
     #[test]

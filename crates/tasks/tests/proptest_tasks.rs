@@ -19,8 +19,7 @@ fn arb_round(participants: Vec<u8>) -> impl Strategy<Value = Round> {
         for (p, &b) in participants.iter().zip(&block_idx) {
             blocks[b.min(n - 1)].push(ProcessId(*p));
         }
-        Round::from_blocks(blocks.into_iter().filter(|b| !b.is_empty()))
-            .expect("valid partition")
+        Round::from_blocks(blocks.into_iter().filter(|b| !b.is_empty())).expect("valid partition")
     })
 }
 

@@ -1,18 +1,58 @@
-//! Simplicial complexes, stored as the full face-closed family of simplices.
+//! Simplicial complexes, stored by their *facets* (maximal simplices).
 //!
-//! This matches the paper's §3.1 definition: a collection `C` of finite
-//! non-empty vertex sets closed under taking non-empty subsets. All the
-//! complexes manipulated in this workspace are small (the deepest iterated
-//! chromatic subdivisions used by the benchmarks have on the order of 10^5
-//! simplices), so the representation favours clarity and fast membership
-//! tests over memory compactness.
+//! This matches the paper's §3.1 definition — a collection `C` of finite
+//! non-empty vertex sets closed under taking non-empty subsets — but the
+//! representation no longer materializes the closure eagerly. A complex
+//! keeps:
+//!
+//! * **dimension-indexed facet tables**: for each dimension `d`, the ids of
+//!   the current facets of dimension `d`, sorted by vertex sequence;
+//! * an **interned-id store**: every facet is interned in an append-only
+//!   store, so a facet inside the complex is a `u32` key and the tables
+//!   and indexes below hold integers, not simplices;
+//! * a **coface adjacency index**: for each vertex, the ids of the live
+//!   facets containing it — general membership (`σ ∈ C` iff `σ ⊆ f` for
+//!   some facet `f`) probes the shortest adjacency list of `σ`'s vertices
+//!   instead of hashing into a materialized closure;
+//! * a **lazily built closure cache** for the operations that genuinely
+//!   enumerate all simplices (`iter`, `simplex_count`, Euler
+//!   characteristic, …). The cache is built at most once per mutation
+//!   epoch and invalidated by `insert`.
+//!
+//! ## Invariants
+//!
+//! * The facet tables contain exactly the maximal simplices: `insert`
+//!   drops an incoming simplex that is already a face of a facet and
+//!   removes previous facets absorbed by the newcomer, so no table entry is
+//!   a face of another.
+//! * Each per-dimension table is sorted by the simplex's vertex sequence;
+//!   equality of complexes is equality of facet tables (facets determine
+//!   the closure, so this coincides with the old closure-set equality).
+//! * The adjacency index covers exactly the live facets, and its key set is
+//!   exactly the vertex set of the complex (absorbing a facet cannot
+//!   orphan a vertex: the absorbed facet's vertices are vertices of the
+//!   absorbing simplex).
+//!
+//! The deepest iterated chromatic subdivisions used by the benchmarks have
+//! on the order of `10^4` facets and `10^5` closure simplices; facet
+//! queries (`facets`, `count_of_dim` at top dimension, `chr`'s facet loop)
+//! are now O(facets) instead of O(closure²).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::simplex::{Simplex, VertexId};
 
-/// A finite simplicial complex: a face-closed set of simplices.
+/// Lazily materialized face closure, grouped and sorted per dimension.
+#[derive(Debug, Default)]
+struct Closure {
+    by_dim: Vec<Vec<Simplex>>,
+    total: usize,
+}
+
+/// A finite simplicial complex: a face-closed set of simplices, stored by
+/// its facets.
 ///
 /// ```
 /// use gact_topology::{Complex, Simplex};
@@ -21,30 +61,83 @@ use crate::simplex::{Simplex, VertexId};
 /// assert_eq!(c.simplex_count(), 7);
 /// assert!(c.is_pure());
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct Complex {
-    simplices: HashSet<Simplex>,
+    /// Interning store: facet id -> simplex. Append-only; entries of
+    /// absorbed facets stay behind (they are rare and tiny) so ids are
+    /// stable.
+    store: Vec<Simplex>,
+    /// `tables[d]`: ids of the live facets of dimension `d`, sorted by
+    /// vertex sequence.
+    tables: Vec<Vec<u32>>,
+    /// `cofacets[v.0]`: ids of the live facets containing `v` — the
+    /// membership index. A vertex belongs to the complex iff its list is
+    /// non-empty.
+    cofacets: Vec<Vec<u32>>,
+    /// Number of vertices (non-empty cofacet lists).
+    n_vertices: usize,
+    /// Lazily built face closure (reset on mutation).
+    closure: OnceLock<Closure>,
+}
+
+impl Clone for Complex {
+    fn clone(&self) -> Self {
+        Complex {
+            store: self.store.clone(),
+            tables: self.tables.clone(),
+            cofacets: self.cofacets.clone(),
+            n_vertices: self.n_vertices,
+            // The closure cache is cheap to rebuild and often unneeded by
+            // the clone; start it empty.
+            closure: OnceLock::new(),
+        }
+    }
 }
 
 impl fmt::Debug for Complex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut facets = self.facets();
-        facets.sort();
         f.debug_struct("Complex")
             .field("dim", &self.dim())
-            .field("facets", &facets)
+            .field("facets", &self.facets())
             .finish()
     }
 }
 
 impl PartialEq for Complex {
     fn eq(&self, other: &Self) -> bool {
-        self.simplices == other.simplices
+        // Facets determine the closure, and the per-dimension tables are
+        // sorted, so elementwise comparison decides equality.
+        let d = self.tables.iter().rposition(|t| !t.is_empty());
+        if d != other.tables.iter().rposition(|t| !t.is_empty()) {
+            return false;
+        }
+        let Some(d) = d else { return true };
+        for k in 0..=d {
+            let a = self.tables.get(k).map(Vec::as_slice).unwrap_or(&[]);
+            let b = other.tables.get(k).map(Vec::as_slice).unwrap_or(&[]);
+            if a.len() != b.len() {
+                return false;
+            }
+            for (&x, &y) in a.iter().zip(b) {
+                if self.store[x as usize] != other.store[y as usize] {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 impl Eq for Complex {}
 
 impl Complex {
+    /// Largest accepted vertex id. The coface membership index is a
+    /// vertex-indexed table, so its size is proportional to the largest id
+    /// (~24 bytes per slot: 16M ids ≈ 384 MB worst case); ids in this
+    /// workspace are allocated densely from zero, far below this. Inserting
+    /// a larger id panics with a clear message instead of attempting a
+    /// multi-gigabyte allocation.
+    pub const MAX_VERTEX_ID: u32 = (1 << 24) - 1;
+
     /// The empty complex.
     pub fn new() -> Self {
         Complex::default()
@@ -60,96 +153,240 @@ impl Complex {
         c
     }
 
-    /// Inserts a simplex together with all its faces.
+    #[inline]
+    fn resolve(&self, id: u32) -> &Simplex {
+        &self.store[id as usize]
+    }
+
+    /// Inserts a simplex together with all its faces (implicitly: the
+    /// closure is represented by the facet set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simplex has more than 28 vertices (its face closure
+    /// would not be enumerable — the same bound `Simplex::faces` enforces)
+    /// or if a vertex id exceeds [`Complex::MAX_VERTEX_ID`]. The membership
+    /// index is a vertex-indexed table, so memory is proportional to the
+    /// *largest* vertex id, not the number of vertices; every complex in
+    /// this workspace allocates ids densely from zero (see `VertexAlloc`),
+    /// and the bound turns a pathological sparse id into a clear panic
+    /// instead of a giant allocation.
     pub fn insert(&mut self, s: Simplex) {
-        if self.simplices.contains(&s) {
-            return;
+        assert!(
+            s.card() <= 28,
+            "face enumeration only supported for small simplices"
+        );
+        let max_v = s.vertices().last().expect("non-empty").0;
+        assert!(
+            max_v <= Self::MAX_VERTEX_ID,
+            "vertex ids must be (near-)densely allocated: id {max_v} exceeds \
+             MAX_VERTEX_ID ({}) for the vertex-indexed membership tables",
+            Self::MAX_VERTEX_ID
+        );
+        // Candidate facets sharing a vertex with `s`, deduplicated.
+        let mut candidates: Vec<u32> = Vec::new();
+        for v in s.iter() {
+            candidates.extend_from_slice(self.cofacet_ids(v));
         }
-        for f in s.faces() {
-            self.simplices.insert(f);
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Already present? (`s ⊆ f` for some facet `f`.)
+        for &fid in &candidates {
+            if s.is_face_of(self.resolve(fid)) {
+                return;
+            }
         }
+        // Remove facets absorbed by `s` (`f ⊊ s`; their vertices are all
+        // vertices of `s`, so every such facet is among the candidates).
+        for &fid in &candidates {
+            if self.resolve(fid).is_face_of(&s) {
+                self.remove_facet(fid);
+            }
+        }
+        let id = u32::try_from(self.store.len()).expect("complex store overflow");
+        let d = s.dim();
+        if self.tables.len() <= d {
+            self.tables.resize_with(d + 1, Vec::new);
+        }
+        let table = &mut self.tables[d];
+        let pos = table.partition_point(|&x| self.store[x as usize] < s);
+        table.insert(pos, id);
+        let max_v = s.vertices().last().expect("non-empty").0 as usize;
+        if self.cofacets.len() <= max_v {
+            self.cofacets.resize_with(max_v + 1, Vec::new);
+        }
+        for v in s.iter() {
+            let list = &mut self.cofacets[v.0 as usize];
+            if list.is_empty() {
+                self.n_vertices += 1;
+            }
+            list.push(id);
+        }
+        self.store.push(s);
+        self.closure.take();
+    }
+
+    fn remove_facet(&mut self, fid: u32) {
+        let s = self.resolve(fid).clone();
+        let d = s.dim();
+        let table = &mut self.tables[d];
+        let pos = table.partition_point(|&x| self.store[x as usize] < s);
+        debug_assert_eq!(table.get(pos), Some(&fid));
+        table.remove(pos);
+        for v in s.iter() {
+            let list = &mut self.cofacets[v.0 as usize];
+            list.retain(|&x| x != fid);
+            if list.is_empty() {
+                self.n_vertices -= 1;
+            }
+        }
+        self.closure.take();
     }
 
     /// Whether the complex contains no simplex.
     pub fn is_empty(&self) -> bool {
-        self.simplices.is_empty()
+        self.n_vertices == 0
     }
 
-    /// Membership test.
+    /// The ids of the live facets containing `v` (coface adjacency), empty
+    /// when `v` is not a vertex of the complex.
+    #[inline]
+    fn cofacet_ids(&self, v: VertexId) -> &[u32] {
+        self.cofacets
+            .get(v.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The live facets having `s` as a face, as ids. Probes the shortest
+    /// adjacency list among `s`'s vertices.
+    fn facets_containing<'a>(&'a self, s: &'a Simplex) -> impl Iterator<Item = u32> + 'a {
+        let probe = s
+            .iter()
+            .min_by_key(|&v| self.cofacet_ids(v).len())
+            .expect("simplices are non-empty");
+        self.cofacet_ids(probe)
+            .iter()
+            .copied()
+            .filter(move |&fid| s.is_face_of(self.resolve(fid)))
+    }
+
+    /// Membership test: `σ ∈ C` iff `σ` is a face of some facet.
     pub fn contains(&self, s: &Simplex) -> bool {
-        self.simplices.contains(s)
+        self.facets_containing(s).next().is_some()
     }
 
     /// Whether `v` is a vertex of the complex.
     pub fn contains_vertex(&self, v: VertexId) -> bool {
-        self.simplices.contains(&Simplex::vertex(v))
+        !self.cofacet_ids(v).is_empty()
+    }
+
+    /// The lazily built face closure.
+    fn closure(&self) -> &Closure {
+        self.closure.get_or_init(|| {
+            let dim = match self.tables.iter().rposition(|t| !t.is_empty()) {
+                Some(d) => d,
+                None => return Closure::default(),
+            };
+            let mut by_dim: Vec<Vec<Simplex>> = (0..=dim).map(|_| Vec::new()).collect();
+            for table in &self.tables {
+                for &fid in table {
+                    let f = self.resolve(fid);
+                    for (d, out) in by_dim.iter_mut().enumerate().take(f.card()) {
+                        f.faces_of_dim_into(d, out);
+                    }
+                }
+            }
+            for v in &mut by_dim {
+                v.sort_unstable();
+                v.dedup();
+            }
+            debug_assert_eq!(by_dim[dim].len(), self.tables[dim].len());
+            let total = by_dim.iter().map(Vec::len).sum();
+            Closure { by_dim, total }
+        })
     }
 
     /// Total number of simplices (all dimensions).
     pub fn simplex_count(&self) -> usize {
-        self.simplices.len()
+        self.closure().total
     }
 
     /// Number of simplices of dimension `d`.
     pub fn count_of_dim(&self, d: usize) -> usize {
-        self.simplices.iter().filter(|s| s.dim() == d).count()
+        // Fast path: every top-dimensional simplex is a facet, so the facet
+        // table answers without materializing the closure.
+        match self.dim() {
+            None => 0,
+            Some(top) if d == top => self.tables[d].len(),
+            Some(top) if d > top => 0,
+            Some(_) => self.closure().by_dim.get(d).map(Vec::len).unwrap_or(0),
+        }
     }
 
-    /// Iterates over every simplex (unspecified order).
+    /// Iterates over every simplex (sorted by dimension, then vertex
+    /// sequence).
     pub fn iter(&self) -> impl Iterator<Item = &Simplex> {
-        self.simplices.iter()
+        self.closure().by_dim.iter().flat_map(|v| v.iter())
     }
 
     /// Iterates over the simplices of dimension `d`.
     pub fn iter_dim(&self, d: usize) -> impl Iterator<Item = &Simplex> {
-        self.simplices.iter().filter(move |s| s.dim() == d)
+        self.closure()
+            .by_dim
+            .get(d)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
     }
 
     /// The vertex set, sorted.
     pub fn vertex_set(&self) -> BTreeSet<VertexId> {
-        self.simplices
+        self.cofacets
             .iter()
-            .filter(|s| s.dim() == 0)
-            .map(|s| s.vertices()[0])
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, _)| VertexId(i as u32))
             .collect()
     }
 
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.count_of_dim(0)
+        self.n_vertices
     }
 
     /// Dimension of the complex (`None` when empty).
     pub fn dim(&self) -> Option<usize> {
-        self.simplices.iter().map(|s| s.dim()).max()
+        self.tables.iter().rposition(|t| !t.is_empty())
     }
 
     /// The maximal simplices (those that are not proper faces of another
     /// simplex of the complex), sorted for determinism.
     pub fn facets(&self) -> Vec<Simplex> {
         let mut out: Vec<Simplex> = self
-            .simplices
+            .tables
             .iter()
-            .filter(|s| {
-                // A simplex is maximal iff no single-vertex extension stays
-                // in the complex. Checking extensions by every vertex is
-                // quadratic; instead check cofaces via the simplices of one
-                // higher dimension.
-                !self
-                    .simplices
-                    .iter()
-                    .any(|t| t.dim() == s.dim() + 1 && s.is_face_of(t))
-            })
-            .cloned()
+            .flatten()
+            .map(|&id| self.resolve(id).clone())
             .collect();
-        out.sort();
+        out.sort_unstable();
         out
+    }
+
+    /// Number of facets (maximal simplices), without materializing them.
+    pub fn facet_count(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
     }
 
     /// Whether the complex is *pure of dimension `n`*: every maximal simplex
     /// has dimension exactly `n` (§3.1).
     pub fn is_pure_of_dim(&self, n: usize) -> bool {
-        !self.is_empty() && self.facets().iter().all(|f| f.dim() == n)
+        !self.is_empty()
+            && self
+                .tables
+                .iter()
+                .enumerate()
+                .all(|(d, t)| d == n || t.is_empty())
     }
 
     /// Whether the complex is pure of its own dimension. The empty complex
@@ -163,30 +400,58 @@ impl Complex {
 
     /// The `k`-skeleton: all simplices of dimension ≤ `k` (§3.1).
     pub fn skeleton(&self, k: usize) -> Complex {
-        Complex {
-            simplices: self
-                .simplices
-                .iter()
-                .filter(|s| s.dim() <= k)
-                .cloned()
-                .collect(),
+        let mut out = Complex::new();
+        let mut scratch = Vec::new();
+        for table in &self.tables {
+            for &fid in table {
+                let f = self.resolve(fid);
+                if f.dim() <= k {
+                    out.insert(f.clone());
+                } else {
+                    scratch.clear();
+                    f.faces_of_dim_into(k, &mut scratch);
+                    for t in scratch.drain(..) {
+                        out.insert(t);
+                    }
+                }
+            }
         }
+        out
     }
 
     /// The open star of `s`: every simplex having `s` as a face (§3.1).
     /// This is generally *not* a complex.
     pub fn open_star(&self, s: &Simplex) -> Vec<Simplex> {
-        self.simplices
-            .iter()
-            .filter(|t| s.is_face_of(t))
-            .cloned()
-            .collect()
+        let mut out: HashSet<Simplex> = HashSet::new();
+        for fid in self.facets_containing(s) {
+            let f = self.resolve(fid);
+            // Faces of `f` containing `s`: `s ∪ (subset of f \ s)`.
+            let rest: Vec<VertexId> = f.iter().filter(|v| !s.contains(*v)).collect();
+            assert!(
+                rest.len() <= 28,
+                "open star only supported for small cofaces"
+            );
+            for mask in 0u32..(1u32 << rest.len()) {
+                let t = Simplex::new(
+                    s.iter().chain(
+                        rest.iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| (mask & (1 << i) != 0).then_some(*v)),
+                    ),
+                );
+                out.insert(t);
+            }
+        }
+        out.into_iter().collect()
     }
 
     /// The closed star of `s`: the smallest subcomplex containing the open
     /// star (§3.1).
     pub fn closed_star(&self, s: &Simplex) -> Complex {
-        Complex::from_facets(self.open_star(s))
+        Complex::from_facets(
+            self.facets_containing(s)
+                .map(|fid| self.resolve(fid).clone()),
+        )
     }
 
     /// The link of `s` in the standard sense used by Herlihy–Shavit
@@ -197,71 +462,99 @@ impl Complex {
     /// formulation `St(s) \ st(s)`; see [`Complex::deleted_star`] for that
     /// variant on higher-dimensional simplices.
     pub fn link(&self, s: &Simplex) -> Complex {
-        Complex {
-            simplices: self
-                .simplices
-                .iter()
-                .filter(|t| t.is_disjoint_from(s) && self.contains(&t.union(s)))
-                .cloned()
-                .collect(),
-        }
+        // t ∪ s ∈ C iff t ∪ s ⊆ f for a facet f ⊇ s, and then t ⊆ f \ s:
+        // the link is generated by the facet differences.
+        Complex::from_facets(
+            self.facets_containing(s)
+                .filter_map(|fid| self.resolve(fid).difference(s)),
+        )
     }
 
     /// The paper's literal `(St s) \ (st s)`: the closed star minus the open
     /// star. Coincides with [`Complex::link`] when `s` is a vertex.
     pub fn deleted_star(&self, s: &Simplex) -> Complex {
-        let st: HashSet<Simplex> = self.open_star(s).into_iter().collect();
-        Complex {
-            simplices: self
-                .closed_star(s)
-                .simplices
-                .into_iter()
-                .filter(|t| !st.contains(t))
-                .collect(),
+        // Maximal simplices of the closed star missing at least one vertex
+        // of `s`: each facet `f ⊇ s` minus one vertex of `s`.
+        let mut gen: Vec<Simplex> = Vec::new();
+        for fid in self.facets_containing(s) {
+            let f = self.resolve(fid);
+            if f.card() < 2 {
+                continue;
+            }
+            for v in s.iter() {
+                gen.push(f.difference(&Simplex::vertex(v)).expect("card ≥ 2"));
+            }
         }
+        Complex::from_facets(gen)
     }
 
     /// The subcomplex induced by a set of vertices: all simplices whose
     /// vertices lie in `keep`.
     pub fn induced(&self, keep: &BTreeSet<VertexId>) -> Complex {
-        Complex {
-            simplices: self
-                .simplices
-                .iter()
-                .filter(|s| s.iter().all(|v| keep.contains(&v)))
-                .cloned()
-                .collect(),
+        let mut out = Complex::new();
+        for table in &self.tables {
+            for &fid in table {
+                let f = self.resolve(fid);
+                let kept: Vec<VertexId> = f.iter().filter(|v| keep.contains(v)).collect();
+                if !kept.is_empty() {
+                    out.insert(Simplex::new(kept));
+                }
+            }
         }
+        out
     }
 
     /// Union of two complexes.
     pub fn union(&self, other: &Complex) -> Complex {
-        Complex {
-            simplices: self.simplices.union(&other.simplices).cloned().collect(),
+        let mut out = self.clone();
+        for table in &other.tables {
+            for &fid in table {
+                out.insert(other.resolve(fid).clone());
+            }
         }
+        out
     }
 
-    /// Intersection of two complexes (always a complex).
+    /// Intersection of two complexes (always a complex): generated by the
+    /// pairwise intersections of facets.
     pub fn intersection(&self, other: &Complex) -> Complex {
-        Complex {
-            simplices: self
-                .simplices
-                .intersection(&other.simplices)
-                .cloned()
-                .collect(),
+        let mut out = Complex::new();
+        for ta in &self.tables {
+            for &fa in ta {
+                let a = self.resolve(fa);
+                for tb in &other.tables {
+                    for &fb in tb {
+                        if let Some(i) = a.intersection(other.resolve(fb)) {
+                            out.insert(i);
+                        }
+                    }
+                }
+            }
         }
+        out
     }
 
     /// Whether `self ⊆ other` as sets of simplices.
     pub fn is_subcomplex_of(&self, other: &Complex) -> bool {
-        self.simplices.is_subset(&other.simplices)
+        self.tables
+            .iter()
+            .flatten()
+            .all(|&fid| other.contains(self.resolve(fid)))
     }
 
     /// Euler characteristic `Σ (−1)^d · #{d-simplices}`.
     pub fn euler_characteristic(&self) -> i64 {
-        self.simplices
+        self.closure()
+            .by_dim
             .iter()
-            .map(|s| if s.dim() % 2 == 0 { 1i64 } else { -1i64 })
+            .enumerate()
+            .map(|(d, v)| {
+                if d % 2 == 0 {
+                    v.len() as i64
+                } else {
+                    -(v.len() as i64)
+                }
+            })
             .sum()
     }
 
@@ -269,12 +562,18 @@ impl Complex {
     /// vertices form their own components.
     pub fn connected_components(&self) -> Vec<BTreeSet<VertexId>> {
         let vertices: Vec<VertexId> = self.vertex_set().into_iter().collect();
-        let index: HashMap<VertexId, usize> =
-            vertices.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        let mut index = vec![usize::MAX; self.cofacets.len()];
+        for (i, v) in vertices.iter().enumerate() {
+            index[v.0 as usize] = i;
+        }
         let mut uf = UnionFind::new(vertices.len());
-        for s in self.iter_dim(1) {
-            let vs = s.vertices();
-            uf.union(index[&vs[0]], index[&vs[1]]);
+        for table in &self.tables {
+            for &fid in table {
+                let vs = self.resolve(fid).vertices();
+                for w in vs.windows(2) {
+                    uf.union(index[w[0].0 as usize], index[w[1].0 as usize]);
+                }
+            }
         }
         let mut comps: HashMap<usize, BTreeSet<VertexId>> = HashMap::new();
         for (i, v) in vertices.iter().enumerate() {
@@ -306,16 +605,16 @@ impl Complex {
     ///
     /// Panics if `f` identifies two distinct vertices of some simplex.
     pub fn relabel(&self, f: impl Fn(VertexId) -> VertexId) -> Complex {
-        let simplices: HashSet<Simplex> = self
-            .simplices
-            .iter()
-            .map(|s| {
+        let mut out = Complex::new();
+        for table in &self.tables {
+            for &fid in table {
+                let s = self.resolve(fid);
                 let t = Simplex::new(s.iter().map(&f));
                 assert_eq!(t.card(), s.card(), "relabeling must be injective");
-                t
-            })
-            .collect();
-        Complex { simplices }
+                out.insert(t);
+            }
+        }
+        out
     }
 }
 
@@ -405,6 +704,20 @@ mod tests {
     }
 
     #[test]
+    fn insert_absorbs_faces_and_is_absorbed() {
+        let mut c = Complex::new();
+        c.insert(s(&[0, 1]));
+        c.insert(s(&[1]));
+        assert_eq!(c.facet_count(), 1, "face of a facet is absorbed");
+        c.insert(s(&[0, 1, 2]));
+        assert_eq!(c.facets(), vec![s(&[0, 1, 2])]);
+        // Re-inserting an absorbed facet is a no-op.
+        c.insert(s(&[0, 1]));
+        assert_eq!(c.facets(), vec![s(&[0, 1, 2])]);
+        assert_eq!(c.simplex_count(), 7);
+    }
+
+    #[test]
     fn skeleton_counts() {
         let c = triangle();
         let sk1 = c.skeleton(1);
@@ -491,5 +804,32 @@ mod tests {
         assert!(lk.is_subcomplex_of(&del));
         assert!(del.contains(&s(&[0])));
         assert!(!lk.contains(&s(&[0])));
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        // Same closure reached by different insertion orders and absorbed
+        // intermediates.
+        let a = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3])]);
+        let mut b = Complex::new();
+        b.insert(s(&[2, 3]));
+        b.insert(s(&[0, 1]));
+        b.insert(s(&[0, 1, 2]));
+        assert_eq!(a, b);
+        let c = Complex::from_facets([s(&[0, 1, 2])]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_dim_then_lex() {
+        let c = Complex::from_facets([s(&[0, 1, 2]), s(&[2, 3])]);
+        let all: Vec<&Simplex> = c.iter().collect();
+        assert_eq!(all.len(), c.simplex_count());
+        for w in all.windows(2) {
+            assert!(
+                w[0].dim() < w[1].dim() || (w[0].dim() == w[1].dim() && w[0] < w[1]),
+                "iteration must be sorted"
+            );
+        }
     }
 }

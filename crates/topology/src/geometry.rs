@@ -6,6 +6,7 @@
 //! coordinates that are non-negative and sum to one (paper §3.2). The
 //! ambient dimension is the coordinate length.
 
+#![allow(clippy::needless_range_loop)] // dense linear algebra reads naturally with indices
 use std::collections::HashMap;
 
 use crate::complex::Complex;
@@ -30,7 +31,10 @@ pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Componentwise convex combination `(1−t)·a + t·b`.
 pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Point {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 /// Vertex coordinates for a realized complex.
@@ -308,7 +312,10 @@ mod tests {
         );
         // Point on edge 01 -> carrier is that edge.
         let q = vec![0.5, 0.5, 0.0];
-        assert_eq!(g.carrier_of_point(&q, &c), Some(Simplex::from_iter([0u32, 1])));
+        assert_eq!(
+            g.carrier_of_point(&q, &c),
+            Some(Simplex::from_iter([0u32, 1]))
+        );
         // A vertex -> carrier is the vertex.
         let r = vec![0.0, 0.0, 1.0];
         assert_eq!(g.carrier_of_point(&r, &c), Some(Simplex::from_iter([2u32])));

@@ -98,7 +98,8 @@ pub fn boundary_matrix(c: &Complex, d: usize) -> BitMatrix {
         v.sort();
         v
     };
-    let row_of: HashMap<&Simplex, usize> = rows_s.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let row_of: HashMap<&Simplex, usize> =
+        rows_s.iter().enumerate().map(|(i, s)| (*s, i)).collect();
     let mut m = BitMatrix::zeros(rows_s.len(), cols_s.len());
     for (j, s) in cols_s.iter().enumerate() {
         for f in s.boundary_facets() {

@@ -12,6 +12,7 @@
 //! pivoting on minimal absolute value (sufficient for the small complexes
 //! of this workspace).
 
+#![allow(clippy::needless_range_loop)] // dense linear algebra reads naturally with indices
 use std::collections::HashMap;
 
 use crate::complex::Complex;
@@ -71,7 +72,7 @@ pub fn signed_boundary_matrix(c: &Complex, d: usize) -> Vec<Vec<i64>> {
         v
     };
     if d == 0 {
-        return vec![Vec::new(); 0];
+        return Vec::new();
     }
     let rows: Vec<&Simplex> = {
         let mut v: Vec<&Simplex> = c.iter_dim(d - 1).collect();
@@ -219,13 +220,16 @@ mod tests {
 
     #[test]
     fn snf_small_matrices() {
-        assert_eq!(smith_normal_diagonal(vec![vec![2, 0], vec![0, 3]]), vec![1, 6]);
-        assert_eq!(smith_normal_diagonal(vec![vec![1, 0], vec![0, 0]]), vec![1]);
         assert_eq!(
-            smith_normal_diagonal(vec![vec![2, 4], vec![4, 8]]),
-            vec![2]
+            smith_normal_diagonal(vec![vec![2, 0], vec![0, 3]]),
+            vec![1, 6]
         );
-        assert_eq!(smith_normal_diagonal(vec![vec![0, 0], vec![0, 0]]), Vec::<i64>::new());
+        assert_eq!(smith_normal_diagonal(vec![vec![1, 0], vec![0, 0]]), vec![1]);
+        assert_eq!(smith_normal_diagonal(vec![vec![2, 4], vec![4, 8]]), vec![2]);
+        assert_eq!(
+            smith_normal_diagonal(vec![vec![0, 0], vec![0, 0]]),
+            Vec::<i64>::new()
+        );
     }
 
     #[test]
@@ -249,18 +253,36 @@ mod tests {
     fn homology_of_disk_sphere_circle() {
         let disk = Complex::from_facets([s(&[0, 1, 2])]);
         let h = integral_homology(&disk);
-        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(
+            h[0],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
         assert!(h[1].is_zero() && h[2].is_zero());
 
         let circle = Complex::from_facets([s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
         let h = integral_homology(&circle);
-        assert_eq!(h[1], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(
+            h[1],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
 
         let sphere = Complex::from_facets(s(&[0, 1, 2, 3]).boundary_facets());
         let h = integral_homology(&sphere);
         assert_eq!(h[0].rank, 1);
         assert!(h[1].is_zero());
-        assert_eq!(h[2], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(
+            h[2],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
     }
 
     #[test]
@@ -278,9 +300,27 @@ mod tests {
         assert_eq!(c.count_of_dim(2), 14);
         assert_eq!(c.euler_characteristic(), 0);
         let h = integral_homology(&c);
-        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
-        assert_eq!(h[1], HomologyGroup { rank: 2, torsion: vec![] });
-        assert_eq!(h[2], HomologyGroup { rank: 1, torsion: vec![] });
+        assert_eq!(
+            h[0],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
+        assert_eq!(
+            h[1],
+            HomologyGroup {
+                rank: 2,
+                torsion: vec![]
+            }
+        );
+        assert_eq!(
+            h[2],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
     }
 
     #[test]
@@ -303,8 +343,20 @@ mod tests {
         let c = Complex::from_facets(faces.iter().map(|f| s(f)));
         assert_eq!(c.euler_characteristic(), 1); // χ(RP²) = 1
         let h = integral_homology(&c);
-        assert_eq!(h[0], HomologyGroup { rank: 1, torsion: vec![] });
-        assert_eq!(h[1], HomologyGroup { rank: 0, torsion: vec![2] });
+        assert_eq!(
+            h[0],
+            HomologyGroup {
+                rank: 1,
+                torsion: vec![]
+            }
+        );
+        assert_eq!(
+            h[1],
+            HomologyGroup {
+                rank: 0,
+                torsion: vec![2]
+            }
+        );
         assert!(h[2].is_zero());
         // Contrast: over GF(2) the "Betti numbers" of RP² are (1,1,1).
         use crate::homology::betti_numbers;
@@ -331,7 +383,11 @@ mod tests {
     fn display_formatting() {
         assert_eq!(HomologyGroup::zero().to_string(), "0");
         assert_eq!(
-            HomologyGroup { rank: 2, torsion: vec![2, 4] }.to_string(),
+            HomologyGroup {
+                rank: 2,
+                torsion: vec![2, 4]
+            }
+            .to_string(),
             "Z^2 ⊕ Z/2 ⊕ Z/4"
         );
     }

@@ -30,6 +30,7 @@
 //! assert!(!is_k_connected(&circle, 1).holds());
 //! ```
 
+pub mod arena;
 pub mod complex;
 pub mod connectivity;
 pub mod geometry;
@@ -38,8 +39,11 @@ pub mod integral;
 pub mod simplex;
 pub mod subdivision;
 
+pub use arena::{SimplexArena, SimplexId};
 pub use complex::{Complex, UnionFind};
+pub use geometry::{
+    l1_distance, standard_simplex_geometry, ComplexLocator, Geometry, Point, SimplexLocator,
+};
 pub use integral::{integral_homology, smith_normal_diagonal, HomologyGroup};
-pub use geometry::{l1_distance, standard_simplex_geometry, ComplexLocator, Geometry, Point, SimplexLocator};
-pub use simplex::{Simplex, VertexId};
+pub use simplex::{Simplex, VertexId, INLINE_CAP};
 pub use subdivision::{barycentric, barycentric_iter, Subdivision};

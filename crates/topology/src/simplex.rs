@@ -1,10 +1,22 @@
 //! Abstract simplices: finite, non-empty sets of vertex identifiers.
 //!
-//! A simplex is stored as a strictly increasing vector of [`VertexId`]s, so
-//! equality, hashing and face relations are all structural. The *dimension*
-//! of a simplex is its cardinality minus one (paper, §3.1).
+//! A simplex is stored as a strictly increasing sequence of [`VertexId`]s,
+//! so equality, hashing and face relations are all structural. The
+//! *dimension* of a simplex is its cardinality minus one (paper, §3.1).
+//!
+//! ## Representation
+//!
+//! Virtually every simplex this workspace manipulates is tiny — carriers,
+//! faces and subdivision facets have at most `n + 1 ≤ 8` vertices for every
+//! construction in the paper — so the vertex sequence is stored *inline*
+//! (no heap allocation) up to [`INLINE_CAP`] vertices, spilling to a `Vec`
+//! only beyond that. Ordering, equality and hashing are defined on the
+//! vertex slice and therefore agree across the inline/heap boundary; the
+//! property suite pins this invariant.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a vertex inside a [`crate::Complex`].
 ///
@@ -31,7 +43,21 @@ impl From<u32> for VertexId {
     }
 }
 
-/// A finite, non-empty set of vertices, stored sorted and deduplicated.
+/// Number of vertices a [`Simplex`] stores inline before spilling to the
+/// heap.
+pub const INLINE_CAP: usize = 8;
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [VertexId; INLINE_CAP],
+    },
+    Heap(Vec<VertexId>),
+}
+
+/// A finite, non-empty set of vertices, stored sorted and deduplicated —
+/// inline (allocation-free) up to [`INLINE_CAP`] vertices.
 ///
 /// ```
 /// use gact_topology::{Simplex, VertexId};
@@ -39,13 +65,13 @@ impl From<u32> for VertexId {
 /// assert_eq!(s.dim(), 2);
 /// assert!(s.contains(VertexId(1)));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Simplex(Vec<VertexId>);
+#[derive(Clone)]
+pub struct Simplex(Repr);
 
 impl fmt::Debug for Simplex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -55,64 +81,174 @@ impl fmt::Debug for Simplex {
     }
 }
 
+impl PartialEq for Simplex {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Simplex {}
+
+impl PartialOrd for Simplex {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Simplex {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Simplex {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl Simplex {
-    /// Builds a simplex from any collection of vertices.
+    /// Builds a simplex from a vertex sequence that is already strictly
+    /// increasing.
+    #[inline]
+    fn from_sorted_slice(vs: &[VertexId]) -> Self {
+        debug_assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        assert!(!vs.is_empty(), "a simplex must have at least one vertex");
+        if vs.len() <= INLINE_CAP {
+            let mut buf = [VertexId(0); INLINE_CAP];
+            buf[..vs.len()].copy_from_slice(vs);
+            Simplex(Repr::Inline {
+                len: vs.len() as u8,
+                buf,
+            })
+        } else {
+            Simplex(Repr::Heap(vs.to_vec()))
+        }
+    }
+
+    /// Builds a simplex from an owned vector that is already strictly
+    /// increasing (avoids the copy in the heap case).
+    #[inline]
+    fn from_sorted_vec(vs: Vec<VertexId>) -> Self {
+        if vs.len() <= INLINE_CAP {
+            Simplex::from_sorted_slice(&vs)
+        } else {
+            debug_assert!(vs.windows(2).all(|w| w[0] < w[1]));
+            Simplex(Repr::Heap(vs))
+        }
+    }
+
+    /// Builds a simplex from any collection of vertices (sorting and
+    /// deduplicating; allocation-free for up to [`INLINE_CAP`] distinct
+    /// vertices).
     ///
     /// # Panics
     ///
     /// Panics if the collection is empty: the empty simplex is not part of
     /// the paper's definition of a simplicial complex (§3.1).
     pub fn new<I: IntoIterator<Item = VertexId>>(vertices: I) -> Self {
-        let mut vs: Vec<VertexId> = vertices.into_iter().collect();
+        let mut it = vertices.into_iter();
+        let mut buf = [VertexId(0); INLINE_CAP];
+        let mut len = 0usize;
+        for v in it.by_ref() {
+            if len == INLINE_CAP {
+                // Spill: finish on the heap.
+                let mut vec = Vec::with_capacity(INLINE_CAP * 2);
+                vec.extend_from_slice(&buf);
+                vec.push(v);
+                vec.extend(it);
+                vec.sort_unstable();
+                vec.dedup();
+                return Simplex::from_sorted_vec(vec);
+            }
+            buf[len] = v;
+            len += 1;
+        }
+        assert!(len > 0, "a simplex must have at least one vertex");
+        let vs = &mut buf[..len];
         vs.sort_unstable();
-        vs.dedup();
-        assert!(!vs.is_empty(), "a simplex must have at least one vertex");
-        Simplex(vs)
+        let mut w = 1usize;
+        for r in 1..len {
+            if buf[r] != buf[w - 1] {
+                buf[w] = buf[r];
+                w += 1;
+            }
+        }
+        Simplex(Repr::Inline { len: w as u8, buf })
     }
 
     /// The 0-dimensional simplex on a single vertex.
+    #[inline]
     pub fn vertex(v: VertexId) -> Self {
-        Simplex(vec![v])
-    }
-
-    /// Dimension: cardinality minus one.
-    pub fn dim(&self) -> usize {
-        self.0.len() - 1
-    }
-
-    /// Number of vertices.
-    pub fn card(&self) -> usize {
-        self.0.len()
+        let mut buf = [VertexId(0); INLINE_CAP];
+        buf[0] = v;
+        Simplex(Repr::Inline { len: 1, buf })
     }
 
     /// The vertices, in strictly increasing order.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Dimension: cardinality minus one.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.card() - 1
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn card(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// The vertices, in strictly increasing order.
+    #[inline]
     pub fn vertices(&self) -> &[VertexId] {
-        &self.0
+        self.as_slice()
     }
 
     /// Iterates over the vertices.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Whether `v` is a vertex of this simplex.
+    #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        self.0.binary_search(&v).is_ok()
+        let vs = self.as_slice();
+        if vs.len() <= INLINE_CAP {
+            vs.contains(&v)
+        } else {
+            vs.binary_search(&v).is_ok()
+        }
     }
 
-    /// Whether `self ⊆ other` as vertex sets.
+    /// Whether `self ⊆ other` as vertex sets (merge scan over two sorted
+    /// slices; allocation-free).
     pub fn is_face_of(&self, other: &Simplex) -> bool {
-        if self.0.len() > other.0.len() {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        if a.len() > b.len() {
             return false;
         }
-        // Merge scan over two sorted vectors.
-        let mut it = other.0.iter();
-        'outer: for v in &self.0 {
-            for w in it.by_ref() {
-                if w == v {
+        let mut j = 0usize;
+        'outer: for v in a {
+            while j < b.len() {
+                let w = b[j];
+                j += 1;
+                if w == *v {
                     continue 'outer;
                 }
-                if w > v {
+                if w > *v {
                     return false;
                 }
             }
@@ -123,84 +259,237 @@ impl Simplex {
 
     /// Whether `self` is a *proper* face of `other`.
     pub fn is_proper_face_of(&self, other: &Simplex) -> bool {
-        self.0.len() < other.0.len() && self.is_face_of(other)
+        self.card() < other.card() && self.is_face_of(other)
     }
 
     /// All non-empty faces (subsets), including `self`. There are
     /// `2^card − 1` of them.
     pub fn faces(&self) -> Vec<Simplex> {
-        let k = self.0.len();
-        assert!(k <= 28, "face enumeration only supported for small simplices");
+        let vs = self.as_slice();
+        let k = vs.len();
+        assert!(
+            k <= 28,
+            "face enumeration only supported for small simplices"
+        );
         let mut out = Vec::with_capacity((1usize << k) - 1);
+        let mut buf = [VertexId(0); INLINE_CAP];
         for mask in 1u32..(1u32 << k) {
-            let mut vs = Vec::with_capacity(mask.count_ones() as usize);
-            for (i, v) in self.0.iter().enumerate() {
-                if mask & (1 << i) != 0 {
-                    vs.push(*v);
+            let take = mask.count_ones() as usize;
+            if take <= INLINE_CAP {
+                let mut len = 0usize;
+                for (i, v) in vs.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        buf[len] = *v;
+                        len += 1;
+                    }
                 }
+                out.push(Simplex(Repr::Inline {
+                    len: len as u8,
+                    buf,
+                }));
+            } else {
+                let mut vec = Vec::with_capacity(take);
+                for (i, v) in vs.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        vec.push(*v);
+                    }
+                }
+                out.push(Simplex(Repr::Heap(vec)));
             }
-            out.push(Simplex(vs));
         }
         out
+    }
+
+    /// Appends to `out` all faces of dimension exactly `d` (there are
+    /// `C(card, d+1)` of them). Used by the lazy closure machinery of
+    /// [`crate::Complex`].
+    pub fn faces_of_dim_into(&self, d: usize, out: &mut Vec<Simplex>) {
+        let vs = self.as_slice();
+        let k = vs.len();
+        let take = d + 1;
+        if take > k {
+            return;
+        }
+        if take == k {
+            out.push(self.clone());
+            return;
+        }
+        // Enumerate `take`-combinations of indices in lexicographic order.
+        let mut idx: Vec<usize> = (0..take).collect();
+        loop {
+            out.push(Simplex::from_sorted_vec(
+                idx.iter().map(|&i| vs[i]).collect(),
+            ));
+            // Advance the combination.
+            let mut i = take;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if idx[i] != i + k - take {
+                    break;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..take {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
     }
 
     /// The codimension-1 faces (each obtained by dropping one vertex).
     /// Empty for a 0-dimensional simplex.
     pub fn boundary_facets(&self) -> Vec<Simplex> {
-        if self.0.len() == 1 {
+        let vs = self.as_slice();
+        if vs.len() == 1 {
             return Vec::new();
         }
-        (0..self.0.len())
-            .map(|i| {
-                let mut vs = self.0.clone();
-                vs.remove(i);
-                Simplex(vs)
+        (0..vs.len())
+            .map(|drop| {
+                Simplex::from_sorted_vec(
+                    vs.iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, v)| *v)
+                        .collect(),
+                )
             })
             .collect()
     }
 
-    /// Set union of the vertex sets.
+    /// Set union of the vertex sets (sorted merge; allocation-free when the
+    /// result fits inline).
     pub fn union(&self, other: &Simplex) -> Simplex {
-        let mut vs = self.0.clone();
-        vs.extend_from_slice(&other.0);
-        Simplex::new(vs)
+        let a = self.as_slice();
+        let b = other.as_slice();
+        // Frequent fast paths in carrier composition: one side absorbs the
+        // other.
+        if a.len() >= b.len() && other.is_face_of(self) {
+            return self.clone();
+        }
+        if b.len() > a.len() && self.is_face_of(other) {
+            return other.clone();
+        }
+        if a.len() + b.len() <= INLINE_CAP {
+            let mut buf = [VertexId(0); INLINE_CAP];
+            let len = merge_into(a, b, &mut buf);
+            Simplex(Repr::Inline {
+                len: len as u8,
+                buf,
+            })
+        } else {
+            let mut vec = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    Ordering::Less => {
+                        vec.push(a[i]);
+                        i += 1;
+                    }
+                    Ordering::Greater => {
+                        vec.push(b[j]);
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        vec.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            vec.extend_from_slice(&a[i..]);
+            vec.extend_from_slice(&b[j..]);
+            Simplex::from_sorted_vec(vec)
+        }
     }
 
     /// Set intersection of the vertex sets; `None` if disjoint.
     pub fn intersection(&self, other: &Simplex) -> Option<Simplex> {
-        let vs: Vec<VertexId> = self
-            .0
-            .iter()
-            .copied()
-            .filter(|v| other.contains(*v))
-            .collect();
-        if vs.is_empty() {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut vec: Vec<VertexId> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    vec.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if vec.is_empty() {
             None
         } else {
-            Some(Simplex(vs))
+            Some(Simplex::from_sorted_vec(vec))
         }
     }
 
     /// Removes the vertices of `other` from `self`; `None` if nothing is
     /// left.
     pub fn difference(&self, other: &Simplex) -> Option<Simplex> {
-        let vs: Vec<VertexId> = self
-            .0
-            .iter()
-            .copied()
-            .filter(|v| !other.contains(*v))
-            .collect();
-        if vs.is_empty() {
+        let vec: Vec<VertexId> = self.iter().filter(|v| !other.contains(*v)).collect();
+        if vec.is_empty() {
             None
         } else {
-            Some(Simplex(vs))
+            Some(Simplex::from_sorted_vec(vec))
         }
     }
 
-    /// Whether the two simplices share no vertex.
+    /// Whether the two simplices share no vertex (merge scan,
+    /// allocation-free).
     pub fn is_disjoint_from(&self, other: &Simplex) -> bool {
-        self.intersection(other).is_none()
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => return false,
+            }
+        }
+        true
     }
+}
+
+/// Merges two strictly increasing slices into `buf`, deduplicating;
+/// returns the merged length. `buf` must be large enough.
+#[inline]
+fn merge_into(a: &[VertexId], b: &[VertexId], buf: &mut [VertexId]) -> usize {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                buf[k] = a[i];
+                i += 1;
+            }
+            Ordering::Greater => {
+                buf[k] = b[j];
+                j += 1;
+            }
+            Ordering::Equal => {
+                buf[k] = a[i];
+                i += 1;
+                j += 1;
+            }
+        }
+        k += 1;
+    }
+    while i < a.len() {
+        buf[k] = a[i];
+        i += 1;
+        k += 1;
+    }
+    while j < b.len() {
+        buf[k] = b[j];
+        j += 1;
+        k += 1;
+    }
+    k
 }
 
 impl FromIterator<u32> for Simplex {
@@ -219,7 +508,7 @@ impl<'a> IntoIterator for &'a Simplex {
     type Item = VertexId;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, VertexId>>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 }
 
@@ -270,6 +559,22 @@ mod tests {
     }
 
     #[test]
+    fn faces_of_dim_matches_filtered_enumeration() {
+        for card in 1..=6usize {
+            let t = Simplex::new((0..card as u32).map(VertexId));
+            for d in 0..card {
+                let mut got = Vec::new();
+                t.faces_of_dim_into(d, &mut got);
+                let mut expect: Vec<Simplex> =
+                    t.faces().into_iter().filter(|f| f.dim() == d).collect();
+                got.sort();
+                expect.sort();
+                assert_eq!(got, expect, "card={card}, d={d}");
+            }
+        }
+    }
+
+    #[test]
     fn boundary_facets_drop_one_vertex() {
         let t = s(&[0, 1, 2]);
         let b = t.boundary_facets();
@@ -290,5 +595,38 @@ mod tests {
         assert_eq!(a.intersection(&s(&[2, 3])), None);
         assert!(a.is_disjoint_from(&s(&[2, 3])));
         assert!(!a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn inline_heap_boundary_consistency() {
+        // Simplices straddling INLINE_CAP must agree on every structural
+        // operation regardless of representation.
+        let small = Simplex::new((0..INLINE_CAP as u32).map(VertexId));
+        let big = Simplex::new((0..=INLINE_CAP as u32).map(VertexId));
+        assert_eq!(small.card(), INLINE_CAP);
+        assert_eq!(big.card(), INLINE_CAP + 1);
+        assert!(small.is_face_of(&big));
+        assert!(small < big, "lexicographic prefix order");
+        assert_eq!(big.difference(&small), Some(s(&[INLINE_CAP as u32])));
+        assert_eq!(small.union(&big), big);
+        // Hash consistency: equal simplices built by different routes hash
+        // identically (checked via a HashSet round-trip).
+        let mut set = std::collections::HashSet::new();
+        set.insert(big.clone());
+        let rebuilt = small.union(&Simplex::vertex(VertexId(INLINE_CAP as u32)));
+        assert!(set.contains(&rebuilt));
+    }
+
+    #[test]
+    fn large_simplex_operations() {
+        let a = Simplex::new((0..20u32).map(VertexId));
+        let b = Simplex::new((10..30u32).map(VertexId));
+        let u = a.union(&b);
+        assert_eq!(u.card(), 30);
+        assert_eq!(a.intersection(&b).unwrap().card(), 10);
+        assert!(a.contains(VertexId(19)) && !a.contains(VertexId(20)));
+        let mut tenfaces = Vec::new();
+        u.faces_of_dim_into(28, &mut tenfaces);
+        assert_eq!(tenfaces.len(), 30); // C(30, 29)
     }
 }

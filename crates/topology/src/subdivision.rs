@@ -204,10 +204,7 @@ mod tests {
             assert!(c.contains(carrier));
         }
         // Interior vertices exist and carry the full triangle.
-        assert!(sd
-            .vertex_carrier
-            .values()
-            .any(|car| car.card() == 3));
+        assert!(sd.vertex_carrier.values().any(|car| car.card() == 3));
     }
 
     #[test]

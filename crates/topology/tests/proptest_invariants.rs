@@ -109,7 +109,7 @@ proptest! {
             c.euler_characteristic()
         );
         // Carriers: every subdivision vertex carries an original simplex.
-        for (_, carrier) in &sd.vertex_carrier {
+        for carrier in sd.vertex_carrier.values() {
             prop_assert!(c.contains(carrier));
         }
     }
@@ -165,6 +165,110 @@ proptest! {
             prop_assert_eq!(i.card() + u.card(), a.card() + b.card());
         } else {
             prop_assert_eq!(u.card(), a.card() + b.card());
+        }
+    }
+
+    // ---- equivalence properties pinning the facet-table representation ----
+    // The complex stores only facets plus a lazy closure; these properties
+    // pin its counting, membership and iteration against brute-force
+    // enumeration over `Simplex::faces`, i.e. against the old eager
+    // face-closure semantics.
+
+    #[test]
+    fn closure_counts_match_bruteforce(c in arb_complex()) {
+        let brute: std::collections::HashSet<Simplex> = c
+            .facets()
+            .into_iter()
+            .flat_map(|f| f.faces())
+            .collect();
+        prop_assert_eq!(c.simplex_count(), brute.len());
+        for d in 0..=c.dim().unwrap_or(0) {
+            prop_assert_eq!(
+                c.count_of_dim(d),
+                brute.iter().filter(|s| s.dim() == d).count(),
+                "count_of_dim({}) diverges from brute-force closure", d
+            );
+        }
+        prop_assert_eq!(c.vertex_count(), c.count_of_dim(0));
+        // Iteration enumerates exactly the closure, without duplicates.
+        let iterated: Vec<&Simplex> = c.iter().collect();
+        prop_assert_eq!(iterated.len(), brute.len());
+        for s in iterated {
+            prop_assert!(brute.contains(s));
+        }
+    }
+
+    #[test]
+    fn membership_agrees_with_closure(c in arb_complex(), probe in arb_simplex()) {
+        let in_closure = c.facets().iter().any(|f| probe.is_face_of(f));
+        prop_assert_eq!(c.contains(&probe), in_closure);
+        for v in probe.iter() {
+            prop_assert_eq!(
+                c.contains_vertex(v),
+                c.vertex_set().contains(&v)
+            );
+        }
+    }
+
+    #[test]
+    fn facet_tables_hold_only_maximal_simplices(c in arb_complex()) {
+        let facets = c.facets();
+        prop_assert_eq!(facets.len(), c.facet_count());
+        for (i, f) in facets.iter().enumerate() {
+            for (j, g) in facets.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!f.is_face_of(g), "{f:?} ⊆ {g:?} both stored as facets");
+                }
+            }
+        }
+        // facets() is sorted deterministically.
+        let mut sorted = facets.clone();
+        sorted.sort();
+        prop_assert_eq!(&facets, &sorted);
+    }
+
+    #[test]
+    fn simplex_order_and_hash_stable_across_inline_heap(
+        lo in proptest::collection::btree_set(0u32..40, 1..=12),
+        hi in proptest::collection::btree_set(0u32..40, 1..=12),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // INLINE_CAP is 8; sets of up to 12 vertices exercise both the
+        // inline and the heap representation.
+        let a = Simplex::new(lo.iter().copied().map(VertexId));
+        let b = Simplex::new(hi.iter().copied().map(VertexId));
+        // Ordering equals lexicographic order of the sorted vertex vectors
+        // (the old Vec-backed derive), regardless of representation.
+        let va: Vec<u32> = lo.into_iter().collect();
+        let vb: Vec<u32> = hi.into_iter().collect();
+        prop_assert_eq!(a.cmp(&b), va.cmp(&vb));
+        // Equal simplices hash equally even when assembled across the
+        // inline/heap boundary (piecewise union vs direct construction).
+        let split = a.card() / 2;
+        let left = Simplex::new(a.iter().take(split.max(1)));
+        let right = Simplex::new(a.iter().skip(split.min(a.card() - 1)));
+        let rebuilt = left.union(&right);
+        prop_assert_eq!(&rebuilt, &a);
+        let hash = |s: &Simplex| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&rebuilt), hash(&a));
+    }
+
+    #[test]
+    fn skeleton_equals_filtered_closure(c in arb_complex(), k in 0usize..4) {
+        let sk = c.skeleton(k);
+        let expect: std::collections::HashSet<Simplex> = c
+            .iter()
+            .filter(|s| s.dim() <= k)
+            .cloned()
+            .collect();
+        prop_assert_eq!(sk.simplex_count(), expect.len());
+        for s in sk.iter() {
+            prop_assert!(expect.contains(s));
         }
     }
 }

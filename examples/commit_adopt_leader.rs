@@ -54,11 +54,8 @@ fn main() {
                 .iter()
                 .map(|p| (p, values[p.0 as usize]))
                 .collect();
-            let outputs: HashMap<ProcessId, CaOutput> = exec
-                .outputs
-                .iter()
-                .map(|(p, d)| (*p, d.value))
-                .collect();
+            let outputs: HashMap<ProcessId, CaOutput> =
+                exec.outputs.iter().map(|(p, d)| (*p, d.value)).collect();
             let violations = check_commit_adopt(&proposals, &outputs);
             assert!(violations.is_empty(), "{violations:?}");
             total += 1;
@@ -101,10 +98,7 @@ fn main() {
         );
     }
     // Agreement pulled everyone to the leader's value...
-    assert!(exec
-        .outputs
-        .values()
-        .all(|d| d.value.value == 10));
+    assert!(exec.outputs.values().all(|d| d.value.value == 10));
     // ...but p1 and p2 cannot commit (they keep seeing disagreement-risk),
     // which is the §4.5 obstruction to solving total order in OF.
     assert_eq!(exec.outputs[&ProcessId(0)].value.grade, Grade::Commit);

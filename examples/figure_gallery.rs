@@ -24,7 +24,10 @@ fn main() -> std::io::Result<()> {
 
     // --- F1: L_ord -------------------------------------------------------
     let lord = total_order_task(2);
-    let mut scene = Scene::new(&lord.ambient.geometry, "F1  L_ord: the six sigma_alpha in Chr^2(s)");
+    let mut scene = Scene::new(
+        &lord.ambient.geometry,
+        "F1  L_ord: the six sigma_alpha in Chr^2(s)",
+    );
     scene.layer(lord.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
     scene.layer(&lord.selected, "#ffd54f", "#b8860b", 0.9);
     let lord_vertices = lord.ambient.complex.restrict(&lord.selected);
@@ -40,7 +43,10 @@ fn main() -> std::io::Result<()> {
     let mut t = TerminatingSubdivision::new(&s, &g);
     t.stabilize([Simplex::from_iter([0u32, 1])]);
     t.advance();
-    let mut scene = Scene::new(t.geometry(), "F2  C_{k+1} with edge {0,1} terminated (par. 6.1)");
+    let mut scene = Scene::new(
+        t.geometry(),
+        "F2  C_{k+1} with edge {0,1} terminated (par. 6.1)",
+    );
     scene.layer(t.current().complex(), "#e3f2fd", "#1565c0", 0.9);
     scene.layer(t.stable_complex(), "#ef9a9a", "#b71c1c", 0.9);
     scene.vertices(t.current());
@@ -65,7 +71,8 @@ fn main() -> std::io::Result<()> {
     // --- F4: regions R_0, R_1, R_2 ----------------------------------------
     let show = build_lt_showcase(2, 1, 2).expect("Proposition 9.2 witness");
     // Re-build stage by stage to capture each band separately.
-    let mut sub = TerminatingSubdivision::new(&show.affine.task.input, &show.affine.task.input_geometry);
+    let mut sub =
+        TerminatingSubdivision::new(&show.affine.task.input, &show.affine.task.input_geometry);
     sub.advance_by(2);
     let mut bands: Vec<Complex> = Vec::new();
     for _ in 0..=2usize {
@@ -120,8 +127,16 @@ fn main() -> std::io::Result<()> {
             r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#d32f2f" stroke-width="2" marker-end="url(#a)"/><circle cx="{x1:.1}" cy="{y1:.1}" r="3" fill="#d32f2f"/>"##
         );
     }
-    let mut scene = Scene::new(&show.affine.ambient.geometry, "F5  radial projection onto R_0 (par. 9.2)");
-    scene.layer(show.affine.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
+    let mut scene = Scene::new(
+        &show.affine.ambient.geometry,
+        "F5  radial projection onto R_0 (par. 9.2)",
+    );
+    scene.layer(
+        show.affine.ambient.complex.complex(),
+        "#f5f5f5",
+        "#cccccc",
+        1.0,
+    );
     scene.layer(&show.affine.selected, "#a5d6a7", "#1b5e20", 0.85);
     let svg = scene.to_svg().replace(
         "</svg>",
@@ -130,7 +145,10 @@ fn main() -> std::io::Result<()> {
         ),
     );
     std::fs::write("target/figures/f5_radial_projection.svg", svg)?;
-    println!("F5: {} projection rays -> target/figures/f5_radial_projection.svg", samples.len());
+    println!(
+        "F5: {} projection rays -> target/figures/f5_radial_projection.svg",
+        samples.len()
+    );
 
     println!("\nAll figures regenerated under target/figures/");
     Ok(())

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run -p gact --example model_zoo`
 
-use gact_iis::{ProcessId, Run, Round};
+use gact_iis::{ProcessId, Round, Run};
 use gact_models::{
     affine_projection, canonical_coloring_at_depth, Adversary, FastCompanion, ObstructionFree,
     SubIisModel, TResilient, WaitFree,
@@ -74,7 +74,10 @@ fn main() {
             of1_fast.contains(r),
             adv.contains(r),
         ];
-        let marks: Vec<&str> = memberships.iter().map(|&b| if b { "✓" } else { "·" }).collect();
+        let marks: Vec<&str> = memberships
+            .iter()
+            .map(|&b| if b { "✓" } else { "·" })
+            .collect();
         println!(
             "{:44} {:10} {:10} {:10} |  {}   {}    {}    {}   {}    {}",
             name,

@@ -40,10 +40,9 @@ fn main() {
 
     let consensus = consensus_task(2, &[0, 1]);
     match act_solve(&consensus, 3) {
-        ActVerdict::ImpossibleByObstruction(o) => println!(
-            "  {:30} impossible at EVERY depth: {o}",
-            consensus.name
-        ),
+        ActVerdict::ImpossibleByObstruction(o) => {
+            println!("  {:30} impossible at EVERY depth: {o}", consensus.name)
+        }
         v => println!("  unexpected verdict: {v:?}"),
     }
 
@@ -86,6 +85,10 @@ fn main() {
     for r in reports.iter().filter(|r| !r.violations.is_empty()).take(3) {
         println!("  VIOLATION on {:?}: {:?}", r.run, r.violations);
     }
-    assert_eq!(clean, reports.len(), "the extracted protocol must be correct");
+    assert_eq!(
+        clean,
+        reports.len(),
+        "the extracted protocol must be correct"
+    );
     println!("  all runs conform to Δ — the certificate is operational.");
 }

@@ -49,7 +49,14 @@ fn main() {
     assert_eq!(clean, reports.len());
 
     // Randomly sampled runs with prescribed fast sets.
-    let mut sampler = RunSampler::new(3, 99, SamplerConfig { max_prefix: 2, max_cycle: 2 });
+    let mut sampler = RunSampler::new(
+        3,
+        99,
+        SamplerConfig {
+            max_prefix: 2,
+            max_cycle: 2,
+        },
+    );
     let mut sampled: Vec<Run> = Vec::new();
     for fast in [
         [ProcessId(0), ProcessId(1)],

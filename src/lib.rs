@@ -1,0 +1,14 @@
+//! Facade crate for the GACT reproduction workspace.
+//!
+//! The actual implementation lives in the `crates/` workspace members; this
+//! root package exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). It re-exports every
+//! member so downstream experiments can depend on a single crate.
+
+pub use gact; // gact-core's library target is named `gact`
+pub use gact_chromatic as chromatic;
+pub use gact_iis as iis;
+pub use gact_models as models;
+pub use gact_shm as shm;
+pub use gact_tasks as tasks;
+pub use gact_topology as topology;

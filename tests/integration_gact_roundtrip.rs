@@ -13,8 +13,8 @@
 use std::collections::HashMap;
 
 use gact::{act_solve, certificate_from_act_map, ActVerdict, GactCertificate};
-use gact_chromatic::{ColorSet, TerminatingSubdivision};
 use gact_chromatic::SimplicialMap;
+use gact_chromatic::{ColorSet, TerminatingSubdivision};
 use gact_models::{enumerate_runs, SubIisModel, WaitFree};
 use gact_tasks::affine::full_subdivision_task;
 use gact_topology::{Simplex, VertexId};

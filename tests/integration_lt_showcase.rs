@@ -54,7 +54,7 @@ fn lt_outputs_land_in_lt_simplices() {
     let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &runs, 14);
     for rep in &reports {
         assert!(rep.violations.is_empty());
-        for (_, v) in &rep.outputs {
+        for v in rep.outputs.values() {
             assert!(show.affine.selected.contains_vertex(*v));
         }
         if !rep.outputs.is_empty() {
@@ -74,7 +74,10 @@ fn lt_landing_rounds_respect_band_stages() {
     // spiralling near a corner for a while lands strictly later.
     let show = showcase();
     let fair = Run::fair(3);
-    let fair_round = show.certificate.landing_round(&fair, 20).expect("fair lands");
+    let fair_round = show
+        .certificate
+        .landing_round(&fair, 20)
+        .expect("fair lands");
     assert!(fair_round >= 2, "R_0 was stabilized at stage 2");
 
     // A run that hugs corner 0 for three rounds before opening up.
@@ -85,15 +88,13 @@ fn lt_landing_rounds_respect_band_stages() {
                 .unwrap();
             3
         ],
-        [gact_iis::Round::from_blocks([vec![
-            ProcessId(0),
-            ProcessId(1),
-            ProcessId(2),
-        ]])
-        .unwrap()],
+        [gact_iis::Round::from_blocks([vec![ProcessId(0), ProcessId(1), ProcessId(2)]]).unwrap()],
     )
     .unwrap();
-    let hug_round = show.certificate.landing_round(&hug, 24).expect("hugging run lands");
+    let hug_round = show
+        .certificate
+        .landing_round(&hug, 24)
+        .expect("hugging run lands");
     assert!(
         hug_round >= fair_round,
         "corner-hugging run landed earlier ({hug_round}) than the fair run ({fair_round})"
@@ -108,15 +109,23 @@ fn lt_trailing_process_gets_dragged_to_an_output() {
     let trailing = Run::new(
         3,
         [],
-        [gact_iis::Round::from_blocks([
-            vec![ProcessId(0), ProcessId(1)],
-            vec![ProcessId(2)],
-        ])
-        .unwrap()],
+        [
+            gact_iis::Round::from_blocks([vec![ProcessId(0), ProcessId(1)], vec![ProcessId(2)]])
+                .unwrap(),
+        ],
     )
     .unwrap();
-    assert_eq!(trailing.fast(), [ProcessId(0), ProcessId(1)].into_iter().collect::<ProcessSet>());
+    assert_eq!(
+        trailing.fast(),
+        [ProcessId(0), ProcessId(1)]
+            .into_iter()
+            .collect::<ProcessSet>()
+    );
     let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &[trailing], 20);
-    assert!(reports[0].violations.is_empty(), "{:?}", reports[0].violations);
+    assert!(
+        reports[0].violations.is_empty(),
+        "{:?}",
+        reports[0].violations
+    );
     assert_eq!(reports[0].outputs.len(), 3, "all three must decide");
 }

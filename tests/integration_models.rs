@@ -12,12 +12,8 @@ fn model_hierarchy_on_enumerated_runs() {
     // t-resilient matches Res_t — all checked exhaustively on short runs.
     let runs = enumerate_runs(3, 1);
     let wf = WaitFree { n_procs: 3 };
-    let res: Vec<TResilient> = (0..=2)
-        .map(|t| TResilient { n_procs: 3, t })
-        .collect();
-    let of: Vec<ObstructionFree> = (1..=3)
-        .map(|k| ObstructionFree { n_procs: 3, k })
-        .collect();
+    let res: Vec<TResilient> = (0..=2).map(|t| TResilient { n_procs: 3, t }).collect();
+    let of: Vec<ObstructionFree> = (1..=3).map(|k| ObstructionFree { n_procs: 3, k }).collect();
     let adv1 = Adversary::t_resilient(3, 1);
     for r in &runs {
         assert!(wf.contains(r));
@@ -105,7 +101,14 @@ fn compactness_diagonal_argument_on_run_space() {
     // Lemma 5.1 operationally: from any sequence of runs, extract a
     // subsequence converging in the run metric. We realize the diagonal
     // argument on a concrete family and check Cauchy behaviour.
-    let mut sampler = RunSampler::new(3, 123, SamplerConfig { max_prefix: 3, max_cycle: 2 });
+    let mut sampler = RunSampler::new(
+        3,
+        123,
+        SamplerConfig {
+            max_prefix: 3,
+            max_cycle: 2,
+        },
+    );
     let seq: Vec<Run> = (0..200).map(|_| sampler.sample()).collect();
 
     // Diagonalize: repeatedly restrict to the majority first-k-rounds
@@ -116,7 +119,10 @@ fn compactness_diagonal_argument_on_run_space() {
         use std::collections::HashMap;
         let mut classes: HashMap<Vec<gact_iis::Round>, Vec<Run>> = HashMap::new();
         for r in &pool {
-            classes.entry(r.rounds_prefix(k + 1)).or_default().push(r.clone());
+            classes
+                .entry(r.rounds_prefix(k + 1))
+                .or_default()
+                .push(r.clone());
         }
         let (_, biggest) = classes
             .into_iter()

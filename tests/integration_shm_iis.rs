@@ -60,9 +60,7 @@ fn crashed_simulations_still_produce_valid_runs() {
         }
         // The survivors keep making progress through the layers.
         if let Some(last) = sim.rounds.last() {
-            assert!(last
-                .participants()
-                .is_subset_of(ProcessSet::full(3)));
+            assert!(last.participants().is_subset_of(ProcessSet::full(3)));
         }
     }
 }

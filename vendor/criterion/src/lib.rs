@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the measurement subset used by this workspace's benches:
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, then timed for `sample_size` samples (auto-batching very fast
+//! bodies); the median per-iteration time is printed.
+//!
+//! Set `GACT_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark: `{"id": "...", "median_ns": ..., "mean_ns": ..., "samples": N}`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds a bare parameterized id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the things benches pass as benchmark names.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmarking group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        run_benchmark(&id.into_id(), self.sample_size, |b| f(b));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark body; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    /// Iterations per sample (auto-tuned before sampling).
+    batch: u64,
+    /// Duration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut body: impl FnMut(&mut Bencher)) {
+    // Warmup + batch calibration: find a batch size whose sample takes at
+    // least ~2ms, so Instant resolution never dominates.
+    let mut bencher = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        body(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(2) || bencher.batch >= 1 << 20 {
+            break;
+        }
+        bencher.batch *= 4;
+    }
+    // Timed samples.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        body(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.batch as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{id:<44} time: [median {} mean {}] ({} samples, batch {})",
+        fmt_ns(median),
+        fmt_ns(mean),
+        sample_size,
+        bencher.batch
+    );
+    if let Ok(path) = std::env::var("GACT_BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(
+                fh,
+                "{{\"id\": \"{escaped}\", \"median_ns\": {median:.1}, \"mean_ns\": {mean:.1}, \"samples\": {sample_size}}}"
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group-runner function (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
