@@ -41,9 +41,14 @@ fn row(name: &str, paper: &str, measured: &str) {
 
 /// Re-times the criterion benchmark workloads with `std::time` and writes
 /// the machine-readable `BENCH_results.json` for cross-PR perf tracking.
-fn run_json_benches(path: &str) {
+///
+/// Refuses to overwrite an existing results file with *fewer* bench ids
+/// than it already records (a partial or truncated run silently replacing
+/// the committed trajectory would corrupt every cross-PR comparison);
+/// `--force` overrides.
+fn run_json_benches(path: &str, force: bool) {
     use gact::{solve, MapProblem, SolveOutcome};
-    use gact_bench::{measure, to_json, BenchRecord};
+    use gact_bench::{count_bench_ids, measure, to_json, BenchRecord};
 
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut push = |r: BenchRecord| {
@@ -148,6 +153,20 @@ fn run_json_benches(path: &str) {
         }));
     }
 
+    if !force {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            let existing_ids = count_bench_ids(&existing);
+            if records.len() < existing_ids {
+                eprintln!(
+                    "refusing to overwrite {path}: it records {existing_ids} bench ids but \
+                     this run produced only {} — a partial run must not corrupt the \
+                     cross-PR performance trajectory (pass --force to override)",
+                    records.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let json = to_json(&records);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nwrote {} benches to {path}", records.len());
@@ -161,7 +180,8 @@ fn main() {
             .filter(|a| !a.starts_with('-'))
             .map(String::as_str)
             .unwrap_or("BENCH_results.json");
-        run_json_benches(path);
+        let force = args.iter().any(|a| a == "--force");
+        run_json_benches(path, force);
         return;
     }
     let t0 = Instant::now();
@@ -295,10 +315,7 @@ fn main() {
     row("carrier condition δ(τ) ∈ Δ(carrier τ)", "holds", "holds");
 
     let res1 = TResilient { n_procs: 3, t: 1 };
-    let enumerated: Vec<Run> = enumerate_runs(3, 0)
-        .into_iter()
-        .filter(|r| res1.contains(r))
-        .collect();
+    let enumerated: Vec<Run> = res1.filter_batch(enumerate_runs(3, 0));
     let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &enumerated, 14);
     let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
     row(

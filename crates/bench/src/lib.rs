@@ -91,6 +91,15 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Counts the bench ids recorded in a `BENCH_results.json` document (the
+/// schema this workspace writes: one `"id": "…"` key per bench entry).
+/// Used by `experiments --json` to refuse overwriting a fuller results
+/// file with a partial run. Unparseable content counts as zero ids, so a
+/// corrupt file never blocks a fresh write.
+pub fn count_bench_ids(json: &str) -> usize {
+    json.matches("\"id\": \"").count()
+}
+
 /// Serializes records as the `BENCH_results.json` document (schema 1).
 pub fn to_json(records: &[BenchRecord]) -> String {
     let unix = std::time::SystemTime::now()
@@ -128,6 +137,15 @@ mod tests {
         assert!(r.min_ns <= r.median_ns);
         assert_eq!(r.samples, 3);
         assert!(!r.pretty_median().is_empty());
+    }
+
+    #[test]
+    fn count_bench_ids_matches_records() {
+        let records = vec![measure("a/b", 2, || 1 + 1), measure("c/d", 2, || 2 + 2)];
+        let json = to_json(&records);
+        assert_eq!(count_bench_ids(&json), 2);
+        assert_eq!(count_bench_ids(""), 0);
+        assert_eq!(count_bench_ids("not json at all"), 0);
     }
 
     #[test]

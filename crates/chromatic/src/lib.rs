@@ -35,7 +35,8 @@ pub mod standard;
 pub mod terminating;
 
 pub use chr::{
-    chr, chr_iter, chr_relative, fubini, ordered_partitions, ChromaticSubdivision, VertexAlloc,
+    chr, chr_iter, chr_relative, compose_carriers, fubini, ordered_partitions,
+    ChromaticSubdivision, VertexAlloc,
 };
 pub use color::{Color, ColorSet};
 pub use complex::{ChromaticComplex, ChromaticError};

@@ -188,3 +188,79 @@ fn chr_of_glued_triangles() {
     // Still a disk (two triangles glued along an edge ≃ a square).
     assert_eq!(sd.complex.complex().euler_characteristic(), 1);
 }
+
+// ---------------------------------------------------------------------
+// Sequential/parallel equivalence: the per-facet parallel expansion of
+// `chr_relative` must reproduce the sequential construction exactly —
+// same facet tables, same vertex ids, same carriers, same key index,
+// bit-identical coordinates — for any thread count.
+
+/// Full structural digest of a subdivision, suitable for equality:
+/// facet tables, coordinate bits, vertex carriers, and the key index.
+type SubdivisionDigest = (
+    Vec<Vec<u32>>,
+    Vec<(u32, Vec<u64>)>,
+    Vec<(u32, String)>,
+    Vec<(u32, String, u32)>,
+);
+
+fn subdivision_digest(sd: &gact_chromatic::ChromaticSubdivision) -> SubdivisionDigest {
+    let facets: Vec<Vec<u32>> = sd
+        .complex
+        .complex()
+        .iter()
+        .map(|s| s.iter().map(|v| v.0).collect())
+        .collect();
+    let mut coords: Vec<(u32, Vec<u64>)> = sd
+        .geometry
+        .iter()
+        .map(|(v, p)| (v.0, p.iter().map(|x| x.to_bits()).collect()))
+        .collect();
+    coords.sort();
+    let mut carriers: Vec<(u32, String)> = sd
+        .vertex_carrier
+        .iter()
+        .map(|(v, c)| (v.0, format!("{c:?}")))
+        .collect();
+    carriers.sort();
+    let mut keys: Vec<(u32, String, u32)> = sd
+        .key_index
+        .iter()
+        .map(|((p, seen), id)| (p.0, format!("{seen:?}"), id.0))
+        .collect();
+    keys.sort();
+    (facets, coords, carriers, keys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chr_relative_identical_across_thread_counts(
+        n in 1usize..=3,
+        depth in 1usize..=2,
+        face_mask in 0u32..16,
+    ) {
+        // Random stable face (possibly empty ⇒ plain Chr), iterated to
+        // `depth` so fresh-id allocation order is exercised across stages.
+        let (s, g) = standard_simplex(n);
+        let verts: Vec<u32> = (0..=n as u32).filter(|i| face_mask >> i & 1 == 1).collect();
+        let stable = if verts.is_empty() {
+            Complex::new()
+        } else {
+            Complex::from_facets([Simplex::from_iter(verts.into_iter())])
+        };
+        let build = || {
+            let mut alloc = VertexAlloc::above(s.complex());
+            let mut sd = chr_relative(&s, &g, &stable, &mut alloc);
+            for _ in 1..depth {
+                let next = chr_relative(&sd.complex, &sd.geometry, &stable, &mut alloc);
+                sd = gact_chromatic::compose_carriers(sd, next);
+            }
+            subdivision_digest(&sd)
+        };
+        let sequential = gact_parallel::with_threads(1, build);
+        let parallel = gact_parallel::with_threads(8, build);
+        prop_assert_eq!(sequential, parallel);
+    }
+}

@@ -24,7 +24,7 @@ use gact_iis::Run;
 use gact_tasks::Task;
 use gact_topology::{ComplexLocator, Point, Simplex, VertexId};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gact_iis::{ProcessId, ProcessSet};
 
@@ -36,8 +36,9 @@ pub struct GactCertificate {
     pub subdivision: TerminatingSubdivision,
     /// The chromatic map `δ : K(T) → O` (defined on stable vertices).
     pub map: SimplicialMap,
-    /// Lazily prepared point-location over the stable facets.
-    locator: Mutex<Option<ComplexLocator>>,
+    /// Lazily prepared point-location over the stable facets (shared so
+    /// concurrent queries never hold the lock while searching).
+    locator: Mutex<Option<Arc<ComplexLocator>>>,
 }
 
 impl GactCertificate {
@@ -51,15 +52,36 @@ impl GactCertificate {
     }
 
     fn with_locator<R>(&self, f: impl FnOnce(&ComplexLocator) -> R) -> R {
-        let mut guard = self.locator.lock().expect("locator lock poisoned");
-        if guard.is_none() {
-            let facets = self.subdivision.stable_complex().facets();
-            *guard = Some(ComplexLocator::new(
-                self.subdivision.geometry(),
-                facets.iter(),
-            ));
-        }
-        f(guard.as_ref().expect("locator just built"))
+        // Poisoning is recovered everywhere (`PoisonError::into_inner`):
+        // the cached value is only ever a fully built locator, so a panic
+        // on another thread — in locator construction or in a query
+        // closure — never invalidates it, and queries keep working instead
+        // of dying on an unrelated "locator lock poisoned" panic.
+        let cached = self
+            .locator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let locator = match cached {
+            Some(locator) => locator,
+            None => {
+                // Build *outside* the lock: a panic inside construction
+                // surfaces as itself on every query rather than poisoning
+                // the mutex, and concurrent builders race benignly (the
+                // construction is deterministic; the first insert wins).
+                let facets = self.subdivision.stable_complex().facets();
+                let built = Arc::new(ComplexLocator::new(
+                    self.subdivision.geometry(),
+                    facets.iter(),
+                ));
+                self.locator
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get_or_insert(built)
+                    .clone()
+            }
+        };
+        f(&locator)
     }
     /// Checks condition (b) of Theorem 6.1: `δ` is a chromatic simplicial
     /// map on the stable complex and `δ(τ) ∈ Δ(carrier τ)` for every
@@ -73,14 +95,39 @@ impl GactCertificate {
         self.map
             .validate_chromatic(&stable, &task.output)
             .map_err(|e| format!("δ is not chromatic simplicial: {e}"))?;
-        for tau in stable.complex().iter() {
+        let check = |tau: &Simplex| -> Result<(), String> {
             let carrier = self.subdivision.simplex_carrier(tau);
             let image = self.map.apply_simplex(tau);
-            if !task.allowed(&carrier).contains(&image) {
+            if !task
+                .allowed_ref(&carrier)
+                .is_some_and(|a| a.contains(&image))
+            {
                 return Err(format!("δ({tau:?}) = {image:?} not in Δ({carrier:?})"));
             }
+            Ok(())
+        };
+        let threads = gact_parallel::current_threads();
+        if threads <= 1 {
+            // Streaming scan with the original early return on the first
+            // violation.
+            for tau in stable.complex().iter() {
+                check(tau)?;
+            }
+            return Ok(());
         }
-        Ok(())
+        // Per-simplex Δ checks are independent: fan out over chunks and
+        // report the violation of lowest iteration index, which is exactly
+        // the one a sequential scan finds first. (Violations are the
+        // exceptional path — a full scan is the expected cost.)
+        let taus: Vec<&Simplex> = stable.complex().iter().collect();
+        let chunk = (taus.len() / (threads * 8)).max(32);
+        let violations = gact_parallel::par_chunks(&taus, chunk, |_, chunk| {
+            chunk.iter().find_map(|tau| check(tau).err())
+        });
+        match violations.into_iter().flatten().next() {
+            Some(violation) => Err(violation),
+            None => Ok(()),
+        }
     }
 
     /// The minimal stable simplex whose realization contains all `points`,
@@ -200,6 +247,25 @@ impl GactCertificate {
             }
         }
         Err(max_rounds)
+    }
+
+    /// Batched admissibility check: [`GactCertificate::landing_round`] for
+    /// every run, fanned out across workers, verdicts in run order. This
+    /// is how model-level admissibility is checked in practice — a model
+    /// is sampled or enumerated into a batch of runs
+    /// (`gact_models::enumerate_runs` / `RunSampler`) and every run must
+    /// land within the bound.
+    pub fn landing_rounds(&self, runs: &[Run], max_rounds: usize) -> Vec<Result<usize, usize>> {
+        self.prepare_locator();
+        gact_parallel::par_map(runs, |run| self.landing_round(run, max_rounds))
+    }
+
+    /// Forces the lazy point-locator to exist, so a following parallel
+    /// batch of queries shares the cached `Arc` instead of every worker
+    /// missing the cold cache at once and redundantly building its own
+    /// copy (the construction race is benign but wasteful).
+    pub(crate) fn prepare_locator(&self) {
+        self.with_locator(|_| ());
     }
 }
 
@@ -378,6 +444,47 @@ mod tests {
         // Stage gating: the depth-1 certificate stabilized everything at
         // stage 1; nothing lands at stage bound 0.
         assert!(cert.landing_simplex(&[corner], solo, 0).is_none());
+    }
+
+    #[test]
+    fn locator_panic_does_not_poison_later_queries() {
+        // Regression: a panic during lazy locator construction used to
+        // poison the internal mutex, so every later query died on an
+        // unrelated "locator lock poisoned" panic instead of surfacing
+        // the real defect. Build a certificate whose geometry is missing
+        // all coordinates: construction panics, repeatedly, with the
+        // *original* error.
+        use gact_chromatic::{standard_simplex, TerminatingSubdivision};
+        let (s, _) = standard_simplex(1);
+        let broken_geometry = gact_topology::Geometry::new(2); // no coordinates
+        let mut t = TerminatingSubdivision::new(&s, &broken_geometry);
+        let facets = t.current().complex().facets();
+        t.stabilize(facets);
+        let map = SimplicialMap::new(s.complex().vertex_set().into_iter().map(|v| (v, v)));
+        let cert = GactCertificate::new(t, map);
+        let probe =
+            || cert.landing_simplex(&[vec![1.0, 0.0]], gact_chromatic::ColorSet::full(1), 9);
+        let panic_message = |payload: Box<dyn std::any::Any + Send>| -> String {
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        };
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(probe))
+            .expect_err("construction must fail on missing coordinates");
+        assert!(
+            panic_message(first).contains("no coordinates"),
+            "first failure surfaces the construction defect"
+        );
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(probe))
+            .expect_err("the defect is still there on retry");
+        let msg = panic_message(second);
+        assert!(
+            msg.contains("no coordinates"),
+            "later queries must surface the original defect, not a \
+             poisoned-lock panic; got: {msg}"
+        );
     }
 
     #[test]

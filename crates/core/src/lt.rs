@@ -49,9 +49,13 @@ pub struct LtShowcase {
 
 /// Whether a point lies on the `(n−t−1)`-skeleton (support of its
 /// barycentric coordinates has at most `n−t` entries), up to tolerance.
+///
+/// Degenerate parameters are well-defined rather than a panic: for
+/// `t ≥ n` the forbidden skeleton is the `(−1)`-skeleton or lower, which
+/// is empty — no point lies on it (a barycentric support is never empty).
 pub fn on_forbidden_skeleton(x: &[f64], n: usize, t: usize) -> bool {
     let support = x.iter().filter(|&&c| c > 1e-9).count();
-    support <= n - t
+    support <= n.saturating_sub(t)
 }
 
 /// A prepared membership test for `R_0 = |L|` of an affine task.
@@ -91,10 +95,12 @@ pub fn radial_projection_with(x: &Point, region: &ComplexLocator, n: usize, t: u
     if region.contains(x) {
         return x.clone();
     }
-    // The dominant forbidden face: keep the n−t largest coordinates.
+    // The dominant forbidden face: keep the n−t largest coordinates (at
+    // least one — for degenerate t ≥ n the ray leaves from the single
+    // dominant corner instead of panicking on an empty face).
     let mut idx: Vec<usize> = (0..x.len()).collect();
     idx.sort_by(|&a, &b| x[b].total_cmp(&x[a]));
-    let face: Vec<usize> = idx[..n - t].to_vec();
+    let face: Vec<usize> = idx[..n.saturating_sub(t).max(1)].to_vec();
     // Center of the face (for t = n−1: the corner itself).
     let mut center = vec![0.0; x.len()];
     for &i in &face {
@@ -155,16 +161,20 @@ pub fn build_lt_showcase(n: usize, t: usize, extra_stages: usize) -> Result<LtSh
     sub.advance_by(2); // Σ_0 = Σ_1 = ∅: C_2 = Chr² s
     let mut band_sizes = Vec::new();
     for _ in 0..=extra_stages {
-        let geometry = sub.geometry().clone();
-        let facets: Vec<_> = sub
-            .current()
-            .complex()
-            .iter_dim(n)
-            .filter(|f| {
-                f.iter()
-                    .all(|v| !on_forbidden_skeleton(geometry.coord(v), n, t))
-            })
-            .cloned()
+        let geometry = sub.geometry();
+        // Band selection is an independent per-facet predicate: evaluate
+        // it across workers, keeping canonical facet order.
+        let candidates: Vec<&gact_topology::Simplex> =
+            sub.current().complex().iter_dim(n).collect();
+        let keep = gact_parallel::par_map(&candidates, |f| {
+            f.iter()
+                .all(|v| !on_forbidden_skeleton(geometry.coord(v), n, t))
+        });
+        let facets: Vec<_> = candidates
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &keep)| keep)
+            .map(|(&f, _)| f.clone())
             .collect();
         let newly = sub.stabilize(facets);
         band_sizes.push(newly);
@@ -233,6 +243,26 @@ mod tests {
         assert!(!in_output_region(&[1.0, 0.0, 0.0], &affine));
         assert!(on_forbidden_skeleton(&[1.0, 0.0, 0.0], 2, 1));
         assert!(!on_forbidden_skeleton(&[0.5, 0.5, 0.0], 2, 1));
+    }
+
+    #[test]
+    fn degenerate_parameters_do_not_panic() {
+        // Regression: t = n and t > n used to underflow `n - t`. The
+        // forbidden skeleton is empty for t ≥ n — no point lies on it.
+        for t in [2usize, 3, 50] {
+            assert!(!on_forbidden_skeleton(&[1.0, 0.0, 0.0], 2, t), "t = {t}");
+            assert!(!on_forbidden_skeleton(&[0.4, 0.3, 0.3], 2, t), "t = {t}");
+        }
+        // t = n − 1 (the paper's corner-notch case) still flags corners.
+        assert!(on_forbidden_skeleton(&[1.0, 0.0, 0.0], 2, 1));
+        // The radial projection's dominant-face selection saturates too:
+        // a notch point projects without panicking even for t ≥ n.
+        let affine = lt_task(2, 1);
+        let region = output_region_locator(&affine);
+        for t in [2usize, 3] {
+            let proj = radial_projection_with(&vec![0.96, 0.02, 0.02], &region, 2, t);
+            assert!(region.contains(&proj), "t = {t}");
+        }
     }
 
     #[test]

@@ -184,6 +184,10 @@ pub struct RunVerification {
 /// facet = the top simplex) and checks both halves of Definition 4.1:
 /// every infinitely-participating process decides within `max_rounds`, and
 /// the outputs respect `Δ`.
+///
+/// Runs are verified independently (one fresh protocol instance each), so
+/// the batch fans out across workers; reports come back in run order and
+/// are identical for every thread count.
 pub fn verify_protocol_on_runs(
     certificate: &GactCertificate,
     task: &Task,
@@ -192,36 +196,37 @@ pub fn verify_protocol_on_runs(
 ) -> Vec<RunVerification> {
     let omega = Simplex::new(task.input.complex().vertex_set());
     let input = task.input_assignment(&omega);
-    runs.iter()
-        .map(|run| {
-            // Fresh protocol instance per run: view ids are arena-local.
-            let protocol = CertificateProtocol::new(certificate, task);
-            let schedule: Vec<_> = run.rounds_prefix(max_rounds);
-            let exec = execute(&protocol, &input, schedule, max_rounds);
-            let mut violations = exec.violations.clone();
-            for p in run.inf_part().iter() {
-                if !exec.outputs.contains_key(&p) {
-                    violations.push(format!(
-                        "liveness: {p} never decided within {max_rounds} rounds"
-                    ));
-                }
+    // Workers share the certificate's cached locator; force it once here
+    // so a cold certificate isn't built redundantly by every worker.
+    certificate.prepare_locator();
+    gact_parallel::par_map(runs, |run| {
+        // Fresh protocol instance per run: view ids are arena-local.
+        let protocol = CertificateProtocol::new(certificate, task);
+        let schedule: Vec<_> = run.rounds_prefix(max_rounds);
+        let exec = execute(&protocol, &input, schedule, max_rounds);
+        let mut violations = exec.violations.clone();
+        for p in run.inf_part().iter() {
+            if !exec.outputs.contains_key(&p) {
+                violations.push(format!(
+                    "liveness: {p} never decided within {max_rounds} rounds"
+                ));
             }
-            let outputs: HashMap<gact_iis::ProcessId, VertexId> = exec
-                .outputs
-                .iter()
-                .map(|(p, d)| (*p, VertexId(d.value.0)))
-                .collect();
-            if let Err(e) = task.check_outputs(&omega, run.part(), &outputs) {
-                violations.push(format!("task violation: {e}"));
-            }
-            RunVerification {
-                run: run.clone(),
-                rounds: exec.rounds_run,
-                violations,
-                outputs,
-            }
-        })
-        .collect()
+        }
+        let outputs: HashMap<gact_iis::ProcessId, VertexId> = exec
+            .outputs
+            .iter()
+            .map(|(p, d)| (*p, VertexId(d.value.0)))
+            .collect();
+        if let Err(e) = task.check_outputs(&omega, run.part(), &outputs) {
+            violations.push(format!("task violation: {e}"));
+        }
+        RunVerification {
+            run: run.clone(),
+            rounds: exec.rounds_run,
+            violations,
+            outputs,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -12,6 +12,25 @@
 //! constraints are per-simplex. We use most-constrained-variable ordering
 //! with incremental consistency checks.
 //!
+//! ## Parallel execution
+//!
+//! With more than one effective thread (see [`gact_parallel`]), two phases
+//! run across workers with deterministic results:
+//!
+//! * **domain setup** — per-vertex candidate construction (including the
+//!   caller's [`DomainHint`], which can be expensive: the `L_t` pipeline's
+//!   hint runs a radial-projection bisection per vertex) is a `par_map`
+//!   over the vertices, reduced in vertex order;
+//! * **search** — the space is split at the first *branching* vertex of
+//!   the variable order (domains of size 1 are propagated first): one
+//!   subtree per candidate, searched concurrently. Each subtree explores
+//!   the same DFS order as the sequential solver; a shared atomic records
+//!   the lowest candidate index that found a solution, aborting only
+//!   subtrees with *higher* indices. The winning map is therefore exactly
+//!   the sequential solver's map, for any thread count. [`SolveStats`]
+//!   counters do depend on the thread count (aborted subtrees stop
+//!   early); the found/unsat verdict and the map itself never do.
+//!
 //! ## Hot-path representation
 //!
 //! The solver state is fully dense: domain vertices are renumbered to
@@ -27,6 +46,7 @@
 //! (e.g. consensus) is established by exhaustion.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gact_chromatic::{ChromaticComplex, SimplicialMap};
 use gact_tasks::Task;
@@ -109,6 +129,12 @@ struct Search<'a> {
     /// Current partial assignment (dense id → output vertex or sentinel).
     assignment: Vec<VertexId>,
     stats: SolveStats,
+    /// Parallel-subtree cancellation: the lowest subtree index that found a
+    /// solution so far, and this subtree's own index. A subtree stops once
+    /// a *lower-indexed* subtree has a solution — that subtree's map wins
+    /// regardless of what this one would find, so aborting cannot change
+    /// the outcome. `None` in the sequential solver.
+    abort: Option<(&'a AtomicUsize, usize)>,
 }
 
 impl Search<'_> {
@@ -156,12 +182,24 @@ impl Search<'_> {
         true
     }
 
+    /// Whether this subtree has been cancelled by a lower-indexed subtree
+    /// finding a solution (see `abort`). Checked inside the candidate loop
+    /// so a cancelled subtree unwinds in O(stack depth) instead of running
+    /// a full consistency scan per remaining candidate per frame.
+    fn cancelled(&self) -> bool {
+        self.abort
+            .is_some_and(|(best, index)| best.load(Ordering::Relaxed) < index)
+    }
+
     fn backtrack(&mut self, depth: usize) -> bool {
         if depth == self.order.len() {
             return true;
         }
         let vi = self.order[depth] as usize;
         for ci in 0..self.domains[vi].len() {
+            if self.cancelled() {
+                return false;
+            }
             let w = self.domains[vi][ci];
             self.stats.assignments += 1;
             self.assignment[vi] = w;
@@ -176,8 +214,9 @@ impl Search<'_> {
 }
 
 /// Candidate-ordering hint passed to [`solve`]: maps a domain vertex and
-/// its candidate list to a reordered candidate list.
-pub type DomainHint = dyn Fn(VertexId, &[VertexId]) -> Vec<VertexId>;
+/// its candidate list to a reordered candidate list. `Sync` because domain
+/// setup evaluates hints for different vertices on different workers.
+pub type DomainHint = dyn Fn(VertexId, &[VertexId]) -> Vec<VertexId> + Sync;
 
 /// Decides existence of `δ : A → O` with `δ(σ) ∈ Δ(carrier σ)`.
 ///
@@ -219,11 +258,13 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
     let mut images: Vec<&Complex> = Vec::new();
 
     // Vertex domains: same-colored output vertices allowed by the vertex's
-    // carrier.
-    let mut domains: Vec<Vec<VertexId>> = Vec::with_capacity(n);
-    for &v in &vertices {
-        let carrier = &problem.vertex_carrier[&v];
-        let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
+    // carrier. Sequentially this is the original single pass (no
+    // intermediate buffers, early exit on the first empty domain). In
+    // parallel mode carrier interning stays sequential (the arena is
+    // shared mutable state) while the per-vertex candidate construction —
+    // including the caller's hint, the expensive part on the `L_t`
+    // pipeline — fans out across workers, reduced in vertex order.
+    let build_domain = |v: VertexId, cid: u32, images: &[&Complex]| -> Vec<VertexId> {
         let allowed = &images[cid as usize];
         let color = a.color(v);
         let mut cands: Vec<VertexId> = allowed
@@ -234,11 +275,37 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
         if let Some(hint) = domain_hint {
             cands = hint(v, &cands);
         }
-        if cands.is_empty() {
+        cands
+    };
+    let domains: Vec<Vec<VertexId>> = if gact_parallel::current_threads() <= 1 {
+        let mut domains = Vec::with_capacity(n);
+        for &v in &vertices {
+            let carrier = &problem.vertex_carrier[&v];
+            let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
+            let cands = build_domain(v, cid, &images);
+            if cands.is_empty() {
+                return SolveOutcome::Unsatisfiable(SolveStats::default());
+            }
+            domains.push(cands);
+        }
+        domains
+    } else {
+        let vertex_cids: Vec<(VertexId, u32)> = vertices
+            .iter()
+            .map(|&v| {
+                let carrier = &problem.vertex_carrier[&v];
+                let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
+                (v, cid)
+            })
+            .collect();
+        let images = &images;
+        let domains =
+            gact_parallel::par_map(&vertex_cids, |&(v, cid)| build_domain(v, cid, images));
+        if domains.iter().any(|d| d.is_empty()) {
             return SolveOutcome::Unsatisfiable(SolveStats::default());
         }
-        domains.push(cands);
-    }
+        domains
+    };
 
     // Constraint simplices (dim ≥ 1) with carriers memoized per interned
     // simplex, and the per-vertex constraint index.
@@ -296,30 +363,131 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
         }
     }
 
-    let mut search = Search {
-        domains: &domains,
-        dense: &dense,
-        simplices: &simplices,
-        per_vertex: &per_vertex,
-        images: &images,
-        order: &order,
-        assignment: vec![UNASSIGNED; n],
-        stats: SolveStats::default(),
+    let threads = gact_parallel::current_threads();
+    let (found, stats) = if threads <= 1 || n == 0 {
+        let mut search = Search {
+            domains: &domains,
+            dense: &dense,
+            simplices: &simplices,
+            per_vertex: &per_vertex,
+            images: &images,
+            order: &order,
+            assignment: vec![UNASSIGNED; n],
+            stats: SolveStats::default(),
+            abort: None,
+        };
+        let found = search.backtrack(0);
+        let stats = search.stats;
+        (found.then_some(search.assignment), stats)
+    } else {
+        parallel_search(&domains, &dense, &simplices, &per_vertex, &images, &order)
     };
-    let found = search.backtrack(0);
-    let stats = search.stats;
-    if found {
+    if let Some(assignment) = found {
         let map = SimplicialMap::new(
             vertices
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| (v, search.assignment[i])),
+                .map(|(i, &v)| (v, assignment[i])),
         );
         debug_assert!(map.validate_chromatic(a, &task.output).is_ok());
         SolveOutcome::Map(map, stats)
     } else {
         SolveOutcome::Unsatisfiable(stats)
     }
+}
+
+/// Parallel backtracking: propagates the forced prefix of the variable
+/// order (domains of size 1), then splits the search at the first
+/// *branching* vertex — one independent subtree per candidate, each
+/// exploring the sequential DFS order.
+///
+/// The subtree of the lowest candidate index holding a solution wins,
+/// which is exactly the solution the sequential solver returns; a shared
+/// atomic lets subtrees with a higher index stop early, which cannot
+/// affect the winner. Statistics are summed over the prefix and every
+/// subtree (so they vary with thread count, unlike the outcome).
+#[allow(clippy::too_many_arguments)]
+fn parallel_search(
+    domains: &[Vec<VertexId>],
+    dense: &[u32],
+    simplices: &[(Simplex, u32)],
+    per_vertex: &[Vec<u32>],
+    images: &[&Complex],
+    order: &[u32],
+) -> (Option<Vec<VertexId>>, SolveStats) {
+    let n = order.len();
+    let mut prefix = Search {
+        domains,
+        dense,
+        simplices,
+        per_vertex,
+        images,
+        order,
+        assignment: vec![UNASSIGNED; n],
+        stats: SolveStats::default(),
+        abort: None,
+    };
+    // Forced prefix: a variable with a single candidate either takes it or
+    // proves unsatisfiability (there is nothing earlier to backtrack to —
+    // every preceding variable is equally forced).
+    let mut depth = 0usize;
+    while depth < n && domains[order[depth] as usize].len() == 1 {
+        let vi = order[depth] as usize;
+        prefix.stats.assignments += 1;
+        prefix.assignment[vi] = domains[vi][0];
+        if !prefix.consistent(vi) {
+            prefix.stats.backtracks += 1;
+            return (None, prefix.stats);
+        }
+        depth += 1;
+    }
+    if depth == n {
+        return (Some(prefix.assignment), prefix.stats);
+    }
+
+    let branch_vi = order[depth] as usize;
+    let candidates = &domains[branch_vi];
+    let best = AtomicUsize::new(usize::MAX);
+    let indices: Vec<usize> = (0..candidates.len()).collect();
+    let base_assignment = prefix.assignment;
+    let subtree_results: Vec<(Option<Vec<VertexId>>, SolveStats)> = {
+        let best = &best;
+        let base_assignment = &base_assignment;
+        gact_parallel::par_map(&indices, move |&ci| {
+            let mut search = Search {
+                domains,
+                dense,
+                simplices,
+                per_vertex,
+                images,
+                order,
+                assignment: base_assignment.clone(),
+                stats: SolveStats::default(),
+                abort: Some((best, ci)),
+            };
+            search.stats.assignments += 1;
+            search.assignment[branch_vi] = candidates[ci];
+            if search.consistent(branch_vi) && search.backtrack(depth + 1) {
+                best.fetch_min(ci, Ordering::SeqCst);
+                (Some(search.assignment), search.stats)
+            } else {
+                search.stats.backtracks += 1;
+                (None, search.stats)
+            }
+        })
+    };
+    let mut stats = prefix.stats;
+    let mut winner: Option<Vec<VertexId>> = None;
+    for (assignment, subtree_stats) in subtree_results {
+        stats.assignments += subtree_stats.assignments;
+        stats.backtracks += subtree_stats.backtracks;
+        if winner.is_none() {
+            if let Some(assignment) = assignment {
+                winner = Some(assignment);
+            }
+        }
+    }
+    (winner, stats)
 }
 
 /// Re-validates a solver-produced map against the problem: chromatic,

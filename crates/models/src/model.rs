@@ -21,6 +21,31 @@ pub trait SubIisModel {
 
     /// A short human-readable name.
     fn name(&self) -> String;
+
+    /// Membership for a whole batch of runs, fanned out across workers
+    /// (verdicts in run order, identical for every thread count). Batched
+    /// admissibility checks filter enumerated/sampled run sets through
+    /// this before handing them to the protocol verifier.
+    fn contains_batch(&self, runs: &[Run]) -> Vec<bool>
+    where
+        Self: Sync,
+    {
+        gact_parallel::par_map(runs, |run| self.contains(run))
+    }
+
+    /// The runs of the batch belonging to the model, in input order.
+    /// Consumes the batch so kept runs move rather than deep-clone.
+    fn filter_batch(&self, runs: Vec<Run>) -> Vec<Run>
+    where
+        Self: Sync,
+    {
+        let keep = self.contains_batch(&runs);
+        runs.into_iter()
+            .zip(keep)
+            .filter(|&(_, keep)| keep)
+            .map(|(run, _)| run)
+            .collect()
+    }
 }
 
 /// Example 2.1 — the wait-free model `WF = R`: every run is allowed.
@@ -57,7 +82,11 @@ impl SubIisModel for TResilient {
         self.n_procs
     }
     fn contains(&self, run: &Run) -> bool {
-        run.process_count() == self.n_procs && run.fast().len() >= self.n_procs - self.t
+        // Saturating: with t ≥ n_procs every process may be slow, so the
+        // fast-set threshold is 0 and every run of the right ambient size
+        // belongs (degenerate parameters must not underflow and panic).
+        run.process_count() == self.n_procs
+            && run.fast().len() >= self.n_procs.saturating_sub(self.t)
     }
     fn name(&self) -> String {
         format!("Res_{}({})", self.t, self.n_procs)
@@ -215,6 +244,39 @@ mod tests {
         assert!(!res1.contains(&chain));
         // But 2-resilient allows it.
         assert!(TResilient { n_procs: 3, t: 2 }.contains(&chain));
+    }
+
+    #[test]
+    fn t_resilient_degenerate_parameters_do_not_panic() {
+        // Regression: t = n and t > n used to underflow `n_procs - t`.
+        // With every process allowed to be slow, the threshold is 0 and
+        // every run of the right ambient size belongs.
+        let chain = Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap();
+        for t in [3usize, 4, 100] {
+            let res = TResilient { n_procs: 3, t };
+            assert!(res.contains(&Run::fair(3)), "t = {t}");
+            assert!(res.contains(&chain), "t = {t}");
+            // Wrong ambient size is still rejected.
+            assert!(!res.contains(&Run::fair(2)), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn batch_membership_matches_pointwise() {
+        let res1 = TResilient { n_procs: 3, t: 1 };
+        let runs = [
+            Run::fair(3),
+            Run::new(3, [], [round(&[&[0], &[1], &[2]])]).unwrap(),
+            Run::new(3, [round(&[&[0, 1, 2]])], [round(&[&[0, 1]])]).unwrap(),
+        ];
+        let batch = res1.contains_batch(&runs);
+        let pointwise: Vec<bool> = runs.iter().map(|r| res1.contains(r)).collect();
+        assert_eq!(batch, pointwise);
+        let kept = res1.filter_batch(runs.to_vec());
+        assert_eq!(kept.len(), batch.iter().filter(|&&b| b).count());
+        for r in &kept {
+            assert!(res1.contains(r));
+        }
     }
 
     #[test]
