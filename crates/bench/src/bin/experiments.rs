@@ -129,6 +129,21 @@ fn run_json_benches(path: &str, force: bool) {
         }));
     }
 
+    println!("timing scenario_matrix …");
+    {
+        use gact::cache::QueryCache;
+        use gact_scenarios::{cells_for, run_matrix, run_matrix_cold};
+        let cells = cells_for("rounds-sweep").expect("registered family");
+        push(measure("scenario_matrix/rounds_sweep_cached", 10, || {
+            // Fresh cache per sweep: intra-sweep sharing only.
+            let cache = QueryCache::new();
+            run_matrix(&cells, &cache)
+        }));
+        push(measure("scenario_matrix/rounds_sweep_cold", 10, || {
+            run_matrix_cold(&cells)
+        }));
+    }
+
     println!("timing lt_pipeline …");
     push(measure("lt_pipeline/build_showcase_2_stages", 3, || {
         build_lt_showcase(2, 1, 2).expect("witness")
@@ -543,6 +558,66 @@ fn main() {
         "convergent subsequence exists",
         &format!("prefix of length {} pinned", limit_prefix.len()),
     );
+
+    // ---------------- E11 ------------------------------------------------
+    header(
+        "E11",
+        "scenario matrix: cross-query caching vs cold per-cell sweeps",
+    );
+    {
+        use gact::cache::QueryCache;
+        use gact_scenarios::{cells_for, run_matrix, run_matrix_cold};
+        let cells = cells_for("rounds-sweep").expect("registered family");
+        // Warm the code paths once, then take the best of three sweeps
+        // each way (the matrix is milliseconds; medians over tiny counts
+        // are noisy).
+        let _ = run_matrix(&cells, &QueryCache::new());
+        let timed = |f: &dyn Fn() -> gact_scenarios::MatrixReport| {
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    let report = f();
+                    (t.elapsed(), report)
+                })
+                .min_by_key(|(wall, _)| *wall)
+                .expect("three samples")
+        };
+        let (cached_wall, cached_report) = timed(&|| run_matrix(&cells, &QueryCache::new()));
+        let (cold_wall, cold_report) = timed(&|| run_matrix_cold(&cells));
+        for (a, b) in cached_report.results.iter().zip(&cold_report.results) {
+            assert_eq!(a.verdict, b.verdict, "cache must not change verdicts");
+        }
+        let speedup = cold_wall.as_secs_f64() / cached_wall.as_secs_f64();
+        row(
+            "rounds-sweep m ∈ {1,2,3} (15 cells), cached",
+            "shares Chr^m across cells",
+            &format!(
+                "{cached_wall:?} ({:.0} cells/sec)",
+                cells.len() as f64 / cached_wall.as_secs_f64()
+            ),
+        );
+        row(
+            "same cells, cold per-cell caches",
+            "rebuilds Chr^m per cell",
+            &format!(
+                "{cold_wall:?} ({:.0} cells/sec)",
+                cells.len() as f64 / cold_wall.as_secs_f64()
+            ),
+        );
+        let sub = cached_report.subdivision_stats;
+        let tab = cached_report.table_stats;
+        row(
+            "cross-query cache speedup",
+            "≥ 2×",
+            &format!(
+                "{speedup:.1}× (subdivision hits {}/{}, table hits {}/{})",
+                sub.hits,
+                sub.hits + sub.misses,
+                tab.hits,
+                tab.hits + tab.misses
+            ),
+        );
+    }
 
     // ---------------- E5b: view bijection --------------------------------
     header(

@@ -1,0 +1,320 @@
+//! Cross-query subdivision cache: `Chr^m` complexes keyed by
+//! (base-complex id, round count) and shared across solvability queries.
+//!
+//! Every GACT-style query subdivides its protocol complex — `chr_iter`
+//! grows as `fubini(n+1)^m` facets, so rebuilding `Chr^m` per query is the
+//! dominant cost of any sweep over rounds `m`, over tasks on the same
+//! input complex, or over model parameters. The cache removes that
+//! redundancy twice over:
+//!
+//! * **across queries** — the first query for a given `(complex, m)` pays
+//!   for the subdivision; every later query on the same base complex gets
+//!   the shared [`Arc`] back;
+//! * **across rounds** — a miss at round `m` does *not* start from
+//!   scratch: the deepest cached `Chr^j` (`j < m`) of the same base is
+//!   extended stepwise with [`chr_step`], and each intermediate stage is
+//!   cached too. Because [`crate::chr::chr_iter`] itself is `m`
+//!   applications of `chr_step` from [`chr_identity`], the extension is
+//!   structurally
+//!   identical to a cold construction — same vertex ids, same facet
+//!   tables, bit-identical coordinates (pinned by the cache regression
+//!   tests).
+//!
+//! Base complexes are identified by a structural digest
+//! ([`complex_cache_key`]) of facets, colors, and coordinate bits — two
+//! independent 64-bit FNV-1a streams, so a collision would need both
+//! halves of a 128-bit fingerprint to agree on structurally different
+//! complexes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gact_topology::Geometry;
+
+use crate::chr::{chr_identity, chr_step, ChromaticSubdivision};
+use crate::complex::ChromaticComplex;
+
+/// Structural identity of a base (protocol) complex, as used by
+/// [`SubdivisionCache`] keys: a 128-bit digest of the facet tables, the
+/// coloring, and the geometry's coordinate bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComplexKey(u64, u64);
+
+/// One 64-bit FNV-1a stream.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(offset: u64) -> Self {
+        Fnv(offset)
+    }
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Computes the structural cache key of a chromatic complex with geometry.
+///
+/// The digest covers, in deterministic order: the ambient dimension, every
+/// facet's vertex ids (facet tables are canonically ordered), every
+/// vertex's color, and every vertex's coordinate bits. Two calls on
+/// structurally equal inputs always agree; structurally different inputs
+/// collide only if two independent 64-bit FNV-1a streams both collide.
+pub fn complex_cache_key(c: &ChromaticComplex, g: &Geometry) -> ComplexKey {
+    let mut a = Fnv::new(0xcbf2_9ce4_8422_2325);
+    let mut b = Fnv::new(0x6c62_272e_07bb_0142);
+    let mut write = |x: u64| {
+        a.write_u64(x);
+        b.write_u64(x);
+    };
+    write(g.ambient_dim() as u64);
+    for facet in c.complex().facets() {
+        write(0xface_7000 | facet.card() as u64);
+        for v in facet.iter() {
+            write(v.0 as u64);
+        }
+    }
+    for v in c.complex().vertex_set() {
+        write(0xc0_1000 | c.color(v).0 as u64);
+        if let Some(p) = g.get(v) {
+            for &x in p {
+                write(x.to_bits());
+            }
+        }
+    }
+    ComplexKey(a.0, b.0)
+}
+
+/// Hit/miss counters of a [`SubdivisionCache`] (and of the solver-side
+/// caches layered on top of it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to build (or extend to) a new entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when nothing was queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared cache of iterated chromatic subdivisions, keyed by
+/// `(base-complex digest, round count)`.
+///
+/// Thread-safe: lookups take a mutex only long enough to probe or insert;
+/// subdivision construction happens outside the lock, so concurrent
+/// builders of the same key race benignly (the results are structurally
+/// identical and the first insert wins).
+///
+/// # Examples
+///
+/// ```
+/// use gact_chromatic::{standard_simplex, SubdivisionCache};
+///
+/// let (s, g) = standard_simplex(2);
+/// let cache = SubdivisionCache::new();
+/// let sd2 = cache.chr_iter(&s, &g, 2);     // builds Chr^1 and Chr^2
+/// let again = cache.chr_iter(&s, &g, 2);   // shared, no rebuild
+/// assert!(std::sync::Arc::ptr_eq(&sd2, &again));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SubdivisionCache {
+    entries: Mutex<HashMap<(ComplexKey, usize), Arc<ChromaticSubdivision>>>,
+    /// Per-base in-flight build guards (single-flight): concurrent cold
+    /// misses on the same base complex serialize here and re-probe, so a
+    /// stampede of workers extends the `Chr^m` chain once instead of each
+    /// rebuilding it. Builds for different bases stay concurrent.
+    flights: Mutex<HashMap<ComplexKey, Arc<Mutex<()>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubdivisionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SubdivisionCache::default()
+    }
+
+    /// `Chr^m` of `(c, g)`, shared: returns the cached subdivision when the
+    /// key is present, otherwise extends the deepest cached stage of the
+    /// same base (or `Chr^0`) with [`chr_step`], caching every intermediate
+    /// stage along the way. The result is structurally identical to
+    /// [`crate::chr::chr_iter`]`(c, g, m)` for every `m`.
+    pub fn chr_iter(
+        &self,
+        c: &ChromaticComplex,
+        g: &Geometry,
+        m: usize,
+    ) -> Arc<ChromaticSubdivision> {
+        let key = complex_cache_key(c, g);
+        self.chr_iter_keyed(key, c, g, m)
+    }
+
+    /// [`SubdivisionCache::chr_iter`] with a precomputed [`ComplexKey`]
+    /// (callers sweeping many rounds of the same base complex can hash it
+    /// once).
+    pub fn chr_iter_keyed(
+        &self,
+        key: ComplexKey,
+        c: &ChromaticComplex,
+        g: &Geometry,
+        m: usize,
+    ) -> Arc<ChromaticSubdivision> {
+        // Fast path: the exact stage is cached.
+        if let Some(hit) = self.probe(key, m) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Single-flight per base: a cold stampede (many workers missing
+        // the same base at once) serializes here and re-probes, so the
+        // extension chain is built once instead of once per worker.
+        let flight = self
+            .flights
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_default()
+            .clone();
+        let _building = flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut best: Option<(usize, Arc<ChromaticSubdivision>)> = None;
+        {
+            let entries = self
+                .entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(hit) = entries.get(&(key, m)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+            // Deepest cached stage strictly below m, to extend from.
+            for j in (0..m).rev() {
+                if let Some(prev) = entries.get(&(key, j)) {
+                    best = Some((j, prev.clone()));
+                    break;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (mut stage, mut current) = match best {
+            Some((j, prev)) => (j, prev),
+            None => {
+                let identity = Arc::new(chr_identity(c, g));
+                (0, self.insert((key, 0), identity))
+            }
+        };
+        while stage < m {
+            let next = Arc::new(chr_step(&current));
+            stage += 1;
+            current = self.insert((key, stage), next);
+        }
+        current
+    }
+
+    /// Lock-scoped exact-stage lookup (no counters).
+    fn probe(&self, key: ComplexKey, m: usize) -> Option<Arc<ChromaticSubdivision>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(key, m))
+            .cloned()
+    }
+
+    /// Inserts unless a racing builder got there first; returns the entry
+    /// that ends up cached (first insert wins, so every caller shares one
+    /// allocation per key).
+    fn insert(
+        &self,
+        key: (ComplexKey, usize),
+        value: Arc<ChromaticSubdivision>,
+    ) -> Arc<ChromaticSubdivision> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Number of cached `(complex, round)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chr::chr_iter;
+    use crate::standard::standard_simplex;
+
+    #[test]
+    fn cache_key_is_structural() {
+        let (s, g) = standard_simplex(2);
+        let (s2, g2) = standard_simplex(2);
+        assert_eq!(complex_cache_key(&s, &g), complex_cache_key(&s2, &g2));
+        let (s1, g1) = standard_simplex(1);
+        assert_ne!(complex_cache_key(&s, &g), complex_cache_key(&s1, &g1));
+    }
+
+    #[test]
+    fn cached_matches_direct_construction() {
+        let (s, g) = standard_simplex(2);
+        let cache = SubdivisionCache::new();
+        for m in 0..=2 {
+            let cached = cache.chr_iter(&s, &g, m);
+            let direct = chr_iter(&s, &g, m);
+            assert_eq!(cached.complex.complex(), direct.complex.complex());
+            assert_eq!(cached.vertex_carrier, direct.vertex_carrier);
+            assert_eq!(cached.key_index, direct.key_index);
+        }
+    }
+
+    #[test]
+    fn incremental_extension_hits_lower_stages() {
+        let (s, g) = standard_simplex(2);
+        let cache = SubdivisionCache::new();
+        let _ = cache.chr_iter(&s, &g, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        // Extending to m=2 reuses the cached Chr^1 (one miss, no rebuild of
+        // stage 1), and re-asking for m∈{1,2} is pure hits.
+        let _ = cache.chr_iter(&s, &g, 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        let _ = cache.chr_iter(&s, &g, 1);
+        let _ = cache.chr_iter(&s, &g, 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        // Entries: Chr^0, Chr^1, Chr^2.
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -415,10 +415,11 @@ fn chr_relative_sequential(
     }
 }
 
-/// Iterated standard chromatic subdivision `Chr^m`, composing carriers back
-/// to the base complex.
-pub fn chr_iter(c: &ChromaticComplex, g: &Geometry, m: usize) -> ChromaticSubdivision {
-    let mut current = ChromaticSubdivision {
+/// The identity subdivision `Chr^0 C = C`: every vertex carries itself and
+/// the key index is empty. This is both `chr_iter(c, g, 0)` and the seed
+/// from which [`chr_step`] iterates.
+pub fn chr_identity(c: &ChromaticComplex, g: &Geometry) -> ChromaticSubdivision {
+    ChromaticSubdivision {
         complex: c.clone(),
         geometry: g.clone(),
         vertex_carrier: c
@@ -428,10 +429,28 @@ pub fn chr_iter(c: &ChromaticComplex, g: &Geometry, m: usize) -> ChromaticSubdiv
             .map(|v| (v, Simplex::vertex(v)))
             .collect(),
         key_index: HashMap::new(),
-    };
+    }
+}
+
+/// One further chromatic subdivision of an already-iterated subdivision:
+/// `Chr^{m+1}` from `Chr^m`, with carriers composed back to the original
+/// base. [`chr_iter`] is exactly `m` applications of this step starting
+/// from [`chr_identity`], so extending a cached `Chr^m` with `chr_step`
+/// yields a structure identical to computing `Chr^{m+1}` from scratch —
+/// same vertex ids, same facet tables, bit-identical coordinates (the
+/// [`crate::cache::SubdivisionCache`] relies on this, and the cache
+/// regression tests pin it).
+pub fn chr_step(prev: &ChromaticSubdivision) -> ChromaticSubdivision {
+    let next = chr(&prev.complex, &prev.geometry);
+    compose_carriers_into(&prev.vertex_carrier, next)
+}
+
+/// Iterated standard chromatic subdivision `Chr^m`, composing carriers back
+/// to the base complex.
+pub fn chr_iter(c: &ChromaticComplex, g: &Geometry, m: usize) -> ChromaticSubdivision {
+    let mut current = chr_identity(c, g);
     for _ in 0..m {
-        let next = chr(&current.complex, &current.geometry);
-        current = compose_carriers(current, next);
+        current = chr_step(&current);
     }
     current
 }
@@ -442,14 +461,24 @@ pub fn compose_carriers(
     base: ChromaticSubdivision,
     next: ChromaticSubdivision,
 ) -> ChromaticSubdivision {
+    compose_carriers_into(&base.vertex_carrier, next)
+}
+
+/// Carrier composition against a borrowed base carrier table (so callers
+/// holding a shared `Chr^m` — e.g. the subdivision cache — can extend it
+/// without cloning the whole base subdivision).
+fn compose_carriers_into(
+    base_carrier: &HashMap<VertexId, Simplex>,
+    next: ChromaticSubdivision,
+) -> ChromaticSubdivision {
     let vertex_carrier = next
         .vertex_carrier
         .iter()
         .map(|(v, mid)| {
             let mut it = mid.iter();
-            let mut acc = base.vertex_carrier[&it.next().expect("non-empty")].clone();
+            let mut acc = base_carrier[&it.next().expect("non-empty")].clone();
             for w in it {
-                acc = acc.union(&base.vertex_carrier[&w]);
+                acc = acc.union(&base_carrier[&w]);
             }
             (*v, acc)
         })

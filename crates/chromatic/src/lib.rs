@@ -26,6 +26,9 @@
 //! assert_eq!(sd.complex.complex().count_of_dim(2), 13);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod cache;
 pub mod chr;
 pub mod color;
 pub mod complex;
@@ -34,9 +37,10 @@ pub mod maps;
 pub mod standard;
 pub mod terminating;
 
+pub use cache::{complex_cache_key, CacheStats, ComplexKey, SubdivisionCache};
 pub use chr::{
-    chr, chr_iter, chr_relative, compose_carriers, fubini, ordered_partitions,
-    ChromaticSubdivision, VertexAlloc,
+    chr, chr_identity, chr_iter, chr_relative, chr_step, compose_carriers, fubini,
+    ordered_partitions, ChromaticSubdivision, VertexAlloc,
 };
 pub use color::{Color, ColorSet};
 pub use complex::{ChromaticComplex, ChromaticError};

@@ -1,0 +1,96 @@
+//! Cache regression: a [`SubdivisionCache`] must be *invisible* — every
+//! subdivision it hands out is structurally identical to a cold
+//! `chr_iter` construction, including when a stage is produced by
+//! extending a cached lower stage (`Chr^{m+1}` from cached `Chr^m`).
+//! Identity is checked down to vertex ids, facet tables, carriers, the
+//! view key index, colors, and coordinate *bits*.
+
+use proptest::prelude::*;
+
+use gact_chromatic::{chr_iter, standard_simplex, ChromaticSubdivision, SubdivisionCache};
+
+/// Full structural digest of a subdivision: facet tables, sorted carrier
+/// and key-index tables, per-vertex colors, and coordinate bit patterns.
+type Digest = (Vec<String>, Vec<String>, Vec<String>, Vec<(u32, u64)>);
+
+fn digest(sd: &ChromaticSubdivision) -> Digest {
+    let facets: Vec<String> = sd
+        .complex
+        .complex()
+        .facets()
+        .iter()
+        .map(|f| format!("{f:?}"))
+        .collect();
+    let mut carriers: Vec<String> = sd
+        .vertex_carrier
+        .iter()
+        .map(|(v, c)| format!("{v:?}->{c:?} color {:?}", sd.complex.color(*v)))
+        .collect();
+    carriers.sort();
+    let mut keys: Vec<String> = sd
+        .key_index
+        .iter()
+        .map(|((p, seen), v)| format!("({p:?},{seen:?})->{v:?}"))
+        .collect();
+    keys.sort();
+    let mut coords: Vec<(u32, u64)> = sd
+        .complex
+        .complex()
+        .vertex_set()
+        .into_iter()
+        .flat_map(|v| sd.geometry.coord(v).iter().map(move |x| (v.0, x.to_bits())))
+        .collect();
+    coords.sort();
+    (facets, carriers, keys, coords)
+}
+
+#[test]
+fn extension_from_cached_stage_matches_direct_construction() {
+    // The satellite regression: ask the cache for Chr^m, then Chr^{m+1}
+    // (which extends the cached stage), and pin the result against a cold
+    // chr_iter of Chr^{m+1}.
+    for n in 1..=2usize {
+        for m in 0..=1usize {
+            let (s, g) = standard_simplex(n);
+            let cache = SubdivisionCache::new();
+            let _ = cache.chr_iter(&s, &g, m);
+            let misses_before = cache.stats().misses;
+            let extended = cache.chr_iter(&s, &g, m + 1);
+            // The deeper stage extends (one more miss) rather than
+            // rebuilding from scratch.
+            assert_eq!(cache.stats().misses, misses_before + 1);
+            let direct = chr_iter(&s, &g, m + 1);
+            assert_eq!(
+                digest(&extended),
+                digest(&direct),
+                "cached Chr^{} of Δ^{n} must equal direct construction",
+                m + 1
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_subdivisions_are_structurally_identical(
+        n in 1usize..=2,
+        m in 0usize..=2,
+        warm_first in 0usize..=1,
+    ) {
+        let warm_first = warm_first == 1;
+        let (s, g) = standard_simplex(n);
+        let cache = SubdivisionCache::new();
+        if warm_first {
+            // Populate lower stages first so the query extends.
+            let _ = cache.chr_iter(&s, &g, m.saturating_sub(1));
+        }
+        let cached = cache.chr_iter(&s, &g, m);
+        let direct = chr_iter(&s, &g, m);
+        prop_assert_eq!(digest(&cached), digest(&direct));
+        // Re-query: shared Arc, no rebuild.
+        let again = cache.chr_iter(&s, &g, m);
+        prop_assert!(std::sync::Arc::ptr_eq(&cached, &again));
+    }
+}

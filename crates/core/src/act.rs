@@ -13,15 +13,17 @@
 //! cannot jump components. This is exactly the classical consensus
 //! impossibility argument, verified combinatorially.
 
+use std::sync::Arc;
+
 use gact_chromatic::{chr_iter, ChromaticSubdivision, SimplicialMap};
 use gact_tasks::Task;
 use gact_topology::{Simplex, VertexId};
 
-use crate::solver::{solve, MapProblem, SolveStats};
+use crate::cache::QueryCache;
+use crate::solver::{solve, solve_prepared, MapProblem, SolveStats};
 
 /// Verdict of the bounded ACT search.
 #[derive(Debug)]
-#[allow(clippy::large_enum_variant)] // Solvable carries the whole subdivision by design
 pub enum ActVerdict {
     /// Solvable: a map from `Chr^depth I` was found.
     Solvable {
@@ -29,8 +31,9 @@ pub enum ActVerdict {
         depth: usize,
         /// The chromatic map `η : Chr^k I → O`.
         map: SimplicialMap,
-        /// The subdivision it is defined on (with carriers).
-        subdivision: ChromaticSubdivision,
+        /// The subdivision it is defined on (with carriers); shared so
+        /// cache-aware sweeps hand out the same `Chr^k` to every verdict.
+        subdivision: Arc<ChromaticSubdivision>,
         /// Solver statistics.
         stats: SolveStats,
     },
@@ -130,6 +133,27 @@ pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
 }
 
 /// Bounded ACT decision: tries depths `0, 1, …, max_depth` in order.
+///
+/// # Examples
+///
+/// The immediate-snapshot iterate task `Chr^1 s` is wait-free solvable at
+/// exactly depth 1, while binary consensus is impossible at *every* depth
+/// (the connectivity obstruction certifies it):
+///
+/// ```
+/// use gact::{act_solve, ActVerdict};
+/// use gact_tasks::affine::full_subdivision_task;
+/// use gact_tasks::classic::consensus_task;
+///
+/// let at = full_subdivision_task(1, 1);
+/// assert!(matches!(act_solve(&at.task, 2), ActVerdict::Solvable { depth: 1, .. }));
+///
+/// let consensus = consensus_task(1, &[0, 1]);
+/// assert!(matches!(
+///     act_solve(&consensus, 2),
+///     ActVerdict::ImpossibleByObstruction(_)
+/// ));
+/// ```
 pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
     if let Some(obstruction) = connectivity_obstruction(task) {
         return ActVerdict::ImpossibleByObstruction(obstruction);
@@ -142,6 +166,35 @@ pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
             task,
         };
         if let crate::solver::SolveOutcome::Map(map, stats) = solve(&problem, None) {
+            return ActVerdict::Solvable {
+                depth,
+                map,
+                subdivision: Arc::new(sd),
+                stats,
+            };
+        }
+    }
+    ActVerdict::NoMapUpTo(max_depth)
+}
+
+/// [`act_solve`] through a [`QueryCache`]: each depth's `Chr^depth I` and
+/// its task-independent [`crate::solver::DomainTables`] come from (and
+/// populate) the shared cache, so a sweep over tasks on the same input
+/// complex, or over depth bounds, builds every subdivision stage at most
+/// once. The verdict — including the found map and its depth — is
+/// byte-identical to [`act_solve`]'s for every input and thread count
+/// (pinned by the cache regression tests).
+pub fn act_solve_with_cache(task: &Task, max_depth: usize, cache: &QueryCache) -> ActVerdict {
+    if let Some(obstruction) = connectivity_obstruction(task) {
+        return ActVerdict::ImpossibleByObstruction(obstruction);
+    }
+    let key = cache.key_of(&task.input, &task.input_geometry);
+    for depth in 0..=max_depth {
+        let sd = cache.subdivision_keyed(key, &task.input, &task.input_geometry, depth);
+        let tables = cache.domain_tables(key, depth, &sd);
+        if let crate::solver::SolveOutcome::Map(map, stats) =
+            solve_prepared(&tables, &sd.complex, task, None)
+        {
             return ActVerdict::Solvable {
                 depth,
                 map,

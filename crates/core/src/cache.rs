@@ -1,0 +1,246 @@
+//! Cross-query cache handle for solver entry points: shared `Chr^m`
+//! subdivisions plus the task-independent interned-carrier/domain tables
+//! layered on top of them.
+//!
+//! A solvability sweep — many `(task, model, parameter)` cells — keeps
+//! re-deciding map existence over the *same* iterated subdivisions: every
+//! affine task over `n + 1` processes subdivides the standard simplex,
+//! every pseudosphere task over the same value set subdivides the same
+//! pseudosphere, and a sweep over rounds `m` revisits every stage below
+//! `m`. A [`QueryCache`] makes that sharing explicit:
+//!
+//! * the [`SubdivisionCache`] half caches `Chr^m` complexes keyed by
+//!   `(protocol-complex digest, round count)`, extending cached lower
+//!   stages instead of rebuilding (see [`gact_chromatic::cache`]);
+//! * the [`DomainTables`] half caches, under the same key, the solver's
+//!   task-independent setup — dense renumbering, interned carrier table,
+//!   constraint lists — so a query against a cached domain only builds
+//!   its per-task `Δ`-image table and searches.
+//!
+//! [`crate::act::act_solve_with_cache`] is the cache-aware solvability
+//! entry point; results are byte-identical to the cold
+//! [`crate::act::act_solve`] for every input and thread count (pinned by
+//! the cache regression tests).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gact_chromatic::{
+    complex_cache_key, CacheStats, ChromaticComplex, ChromaticSubdivision, ComplexKey,
+    SubdivisionCache,
+};
+use gact_topology::Geometry;
+
+use crate::lt::{build_lt_showcase, LtShowcase};
+use crate::solver::{prepare_domain, DomainTables};
+
+/// Per-key in-flight build guards (single-flight): concurrent cold misses
+/// on the same key serialize on one per-key mutex and re-probe after
+/// acquiring it, so an expensive build happens once instead of once per
+/// worker. Builds for *different* keys stay concurrent.
+#[derive(Debug)]
+struct Flights<K>(Mutex<HashMap<K, Arc<Mutex<()>>>>);
+
+// Manual impl: the derive would needlessly require `K: Default`.
+impl<K> Default for Flights<K> {
+    fn default() -> Self {
+        Flights(Mutex::new(HashMap::new()))
+    }
+}
+
+/// Memo key of a Proposition 9.2 witness: `(n, t, extra_stages)`.
+type ShowcaseKey = (usize, usize, usize);
+/// Memoized witness (or its deterministic construction error).
+type ShowcaseResult = Result<Arc<LtShowcase>, String>;
+
+impl<K: Eq + Hash + Clone> Flights<K> {
+    fn guard(&self, key: &K) -> Arc<Mutex<()>> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key.clone())
+            .or_default()
+            .clone()
+    }
+}
+
+/// A shared cache handle threaded through solvability queries in a sweep.
+///
+/// Thread-safe; a single instance is meant to be shared by every query of
+/// a batch (the scenario-matrix driver passes one to all its cells).
+///
+/// # Examples
+///
+/// ```
+/// use gact::cache::QueryCache;
+/// use gact::act_solve_with_cache;
+/// use gact_tasks::affine::full_subdivision_task;
+///
+/// let cache = QueryCache::new();
+/// let at = full_subdivision_task(1, 1);
+/// // First query builds Chr^0 and Chr^1 of the edge; a repeat is all hits.
+/// assert!(act_solve_with_cache(&at.task, 1, &cache).is_solvable());
+/// assert!(act_solve_with_cache(&at.task, 1, &cache).is_solvable());
+/// assert!(cache.subdivisions().stats().hits > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    subdivisions: SubdivisionCache,
+    tables: Mutex<HashMap<(ComplexKey, usize), Arc<DomainTables>>>,
+    table_flights: Flights<(ComplexKey, usize)>,
+    table_hits: AtomicU64,
+    table_misses: AtomicU64,
+    /// Memoized Proposition 9.2 witnesses keyed by `(n, t, extra_stages)`
+    /// — the single most expensive construction a sweep runs, shared by
+    /// every certificate cell that needs the same witness.
+    showcases: Mutex<HashMap<ShowcaseKey, ShowcaseResult>>,
+    showcase_flights: Flights<ShowcaseKey>,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// The underlying subdivision cache (for stats or direct `Chr^m`
+    /// queries).
+    pub fn subdivisions(&self) -> &SubdivisionCache {
+        &self.subdivisions
+    }
+
+    /// Structural key of a base complex — hash once when sweeping many
+    /// rounds of the same complex.
+    pub fn key_of(&self, c: &ChromaticComplex, g: &Geometry) -> ComplexKey {
+        complex_cache_key(c, g)
+    }
+
+    /// `Chr^m` of `(c, g)`, shared across queries (see
+    /// [`SubdivisionCache::chr_iter`]).
+    pub fn subdivision(
+        &self,
+        c: &ChromaticComplex,
+        g: &Geometry,
+        m: usize,
+    ) -> Arc<ChromaticSubdivision> {
+        self.subdivisions.chr_iter(c, g, m)
+    }
+
+    /// [`QueryCache::subdivision`] with a precomputed key.
+    pub fn subdivision_keyed(
+        &self,
+        key: ComplexKey,
+        c: &ChromaticComplex,
+        g: &Geometry,
+        m: usize,
+    ) -> Arc<ChromaticSubdivision> {
+        self.subdivisions.chr_iter_keyed(key, c, g, m)
+    }
+
+    /// The task-independent [`DomainTables`] of `Chr^m` of the keyed base
+    /// complex, computed at most once per `(key, m)` and shared by every
+    /// task queried against that domain.
+    pub fn domain_tables(
+        &self,
+        key: ComplexKey,
+        m: usize,
+        sd: &ChromaticSubdivision,
+    ) -> Arc<DomainTables> {
+        let probe = || {
+            self.tables
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&(key, m))
+                .cloned()
+        };
+        if let Some(hit) = probe() {
+            self.table_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // Single-flight: serialize builders of this key, then re-probe —
+        // a cold stampede builds the tables once instead of per worker.
+        let flight = self.table_flights.guard(&(key, m));
+        let _building = flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = probe() {
+            self.table_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.table_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(prepare_domain(&sd.complex, &sd.vertex_carrier));
+        self.tables
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry((key, m))
+            .or_insert(built)
+            .clone()
+    }
+
+    /// The Proposition 9.2 witness for `(n, t)` with `extra_stages`
+    /// stabilization bands (see [`build_lt_showcase`]), built at most once
+    /// per cache and shared — a scenario sweep typically verifies the same
+    /// certificate against several models (combinatorial and geometric
+    /// `Res_t`), and this construction dominates the sweep's wall time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`build_lt_showcase`]'s error, which is
+    /// deterministic for given parameters.
+    pub fn lt_showcase(&self, n: usize, t: usize, extra_stages: usize) -> ShowcaseResult {
+        let key = (n, t, extra_stages);
+        let probe = || {
+            self.showcases
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&key)
+                .cloned()
+        };
+        if let Some(hit) = probe() {
+            return hit;
+        }
+        let flight = self.showcase_flights.guard(&key);
+        let _building = flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = probe() {
+            return hit;
+        }
+        let built = build_lt_showcase(n, t, extra_stages).map(Arc::new);
+        self.showcases
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Hit/miss counters of the domain-tables half (the subdivision half
+    /// reports its own via [`SubdivisionCache::stats`]).
+    pub fn table_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.table_hits.load(Ordering::Relaxed),
+            misses: self.table_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gact_chromatic::standard_simplex;
+
+    #[test]
+    fn domain_tables_are_shared_per_key() {
+        let (s, g) = standard_simplex(1);
+        let cache = QueryCache::new();
+        let key = cache.key_of(&s, &g);
+        let sd = cache.subdivision_keyed(key, &s, &g, 1);
+        let t1 = cache.domain_tables(key, 1, &sd);
+        let t2 = cache.domain_tables(key, 1, &sd);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.table_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+}

@@ -273,6 +273,28 @@ impl GactCertificate {
 /// `Chr^k I`, fully subdivided for `k` stages and then entirely
 /// terminated, with `δ = η`.
 ///
+/// # Examples
+///
+/// The full certificate round trip: decide solvability, assemble the
+/// certificate, check condition (b), and verify the extracted protocol
+/// operationally on every enumerated wait-free run:
+///
+/// ```
+/// use gact::{act_solve, certificate_from_act_map, verify_protocol_on_runs, ActVerdict};
+/// use gact_models::enumerate_runs;
+/// use gact_tasks::affine::full_subdivision_task;
+///
+/// let at = full_subdivision_task(1, 1);
+/// let ActVerdict::Solvable { depth, map, subdivision, .. } = act_solve(&at.task, 2) else {
+///     panic!("the one-round snapshot task is wait-free solvable");
+/// };
+/// let cert = certificate_from_act_map(&at.task, depth, &subdivision, &map);
+/// cert.check_carrier_condition(&at.task).unwrap();
+///
+/// let reports = verify_protocol_on_runs(&cert, &at.task, &enumerate_runs(2, 0), 8);
+/// assert!(reports.iter().all(|r| r.violations.is_empty()));
+/// ```
+///
 /// # Panics
 ///
 /// Panics if the ACT subdivision and the terminating subdivision disagree

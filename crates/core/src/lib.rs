@@ -6,18 +6,25 @@
 //! * [`solver`] — carrier-constrained chromatic-map existence (the finite
 //!   decision procedure both ACT and GACT checks reduce to).
 
+#![deny(missing_docs)]
+
 pub mod act;
 pub mod approx;
+pub mod cache;
 pub mod gact;
 pub mod lt;
 pub mod protocol;
 pub mod render;
 pub mod solver;
 
-pub use act::{act_solve, connectivity_obstruction, ActVerdict, Obstruction};
+pub use act::{act_solve, act_solve_with_cache, connectivity_obstruction, ActVerdict, Obstruction};
 pub use approx::{is_simplicial_approximation, simplicial_approximation, Approximation};
+pub use cache::QueryCache;
 pub use gact::{certificate_from_act_map, run_positions, GactCertificate};
 pub use lt::{build_lt_showcase, radial_projection, LtShowcase};
 pub use protocol::{verify_protocol_on_runs, CertificateProtocol, RunVerification};
 pub use render::Scene;
-pub use solver::{solve, validate_solution, MapProblem, SolveOutcome, SolveStats};
+pub use solver::{
+    prepare_domain, solve, solve_prepared, validate_solution, DomainTables, MapProblem,
+    SolveOutcome, SolveStats,
+};

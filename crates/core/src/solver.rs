@@ -44,6 +44,15 @@
 //! The complexes the paper exercises (hundreds to a few thousand
 //! simplices) solve in well under a millisecond, and unsatisfiability
 //! (e.g. consensus) is established by exhaustion.
+//!
+//! ## Prepared domains (cross-query sharing)
+//!
+//! The setup work above splits cleanly into a task-independent half —
+//! captured by [`DomainTables`] via [`prepare_domain`] — and a per-task
+//! half run by [`solve_prepared`]. [`solve`] composes the two for
+//! one-shot callers; sweeps (see [`crate::cache::QueryCache`]) prepare
+//! each domain once and replay it against every task, with identical
+//! results.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,6 +113,120 @@ fn simplex_carrier(s: &Simplex, vertex_carrier: &HashMap<VertexId, Simplex>) -> 
         acc = acc.union(&vertex_carrier[&v]);
     }
     acc
+}
+
+/// The task-independent half of a [`MapProblem`]'s setup, precomputed once
+/// per domain complex and reusable across every task queried against it.
+///
+/// Everything here depends only on the domain complex and its carriers —
+/// not on the task: the dense vertex renumbering, the interned-carrier
+/// table (carriers in arena order, referenced by `u32` id), the constraint
+/// simplices with their carrier ids, the per-vertex constraint index, and
+/// the 1-skeleton adjacency used by the variable-ordering heuristic. A
+/// cross-query sweep (see `gact::cache::QueryCache`) computes these tables
+/// once per `(protocol complex, round)` and replays them for every task in
+/// the sweep; [`solve`] builds them inline for one-shot callers. Both
+/// paths run the same [`solve_prepared`] search, so results are identical.
+#[derive(Debug)]
+pub struct DomainTables {
+    /// Domain vertices in ascending order (the dense renumbering).
+    vertices: Vec<VertexId>,
+    /// Dense domain-vertex id per `VertexId.0` (sentinel `u32::MAX`).
+    dense: Vec<u32>,
+    /// Interned carrier id per dense vertex id.
+    vertex_cids: Vec<u32>,
+    /// Distinct carrier simplices in arena (first-intern) order; a `u32`
+    /// carrier id indexes this table.
+    carriers: Vec<Simplex>,
+    /// Constraint simplices (dim ≥ 1) with their interned carrier ids.
+    simplices: Vec<(Simplex, u32)>,
+    /// Constraint indices touching each dense vertex id.
+    per_vertex: Vec<Vec<u32>>,
+    /// 1-skeleton adjacency (dense ids), for the variable order.
+    neighbours: Vec<Vec<u32>>,
+}
+
+impl DomainTables {
+    /// Number of distinct carriers interned (the length of the per-task
+    /// `Δ`-image table a query builds on top of these tables).
+    pub fn carrier_count(&self) -> usize {
+        self.carriers.len()
+    }
+}
+
+/// Builds the [`DomainTables`] of a domain complex with vertex carriers —
+/// the task-independent setup work of [`solve`], exposed so sweeps can do
+/// it once per domain and share the result across queries.
+pub fn prepare_domain(
+    domain: &ChromaticComplex,
+    vertex_carrier: &HashMap<VertexId, Simplex>,
+) -> DomainTables {
+    // Dense renumbering of the domain vertices (vertex ids are allocated
+    // densely by the subdivision machinery, so the lookup table is small).
+    let vertices: Vec<VertexId> = domain.complex().vertex_set().into_iter().collect();
+    let n = vertices.len();
+    let max_id = vertices.last().map(|v| v.0 as usize + 1).unwrap_or(0);
+    let mut dense = vec![u32::MAX; max_id];
+    for (i, v) in vertices.iter().enumerate() {
+        dense[v.0 as usize] = i as u32;
+    }
+
+    // Carriers interned in first-encounter order: per-vertex carriers in
+    // vertex order, then constraint carriers in complex iteration order —
+    // the same order the one-shot solver used to intern them, so the
+    // arena ids (and hence every downstream table) are unchanged.
+    let mut arena = SimplexArena::new();
+    let mut carriers: Vec<Simplex> = Vec::new();
+    let mut intern = |carrier: &Simplex, carriers: &mut Vec<Simplex>| -> u32 {
+        let id = arena.intern(carrier);
+        if id.index() == carriers.len() {
+            carriers.push(carrier.clone());
+        }
+        id.0
+    };
+    let vertex_cids: Vec<u32> = vertices
+        .iter()
+        .map(|v| intern(&vertex_carrier[v], &mut carriers))
+        .collect();
+
+    // Constraint simplices (dim ≥ 1) with carriers memoized per interned
+    // simplex, and the per-vertex constraint index.
+    let mut simplices: Vec<(Simplex, u32)> = Vec::new();
+    let mut per_vertex: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in domain.complex().iter() {
+        if s.dim() == 0 {
+            continue;
+        }
+        assert!(
+            s.card() <= MAX_CARD,
+            "domain simplex too large for the solver"
+        );
+        let carrier = simplex_carrier(s, vertex_carrier);
+        let cid = intern(&carrier, &mut carriers);
+        let si = simplices.len() as u32;
+        for v in s.iter() {
+            per_vertex[dense[v.0 as usize] as usize].push(si);
+        }
+        simplices.push((s.clone(), cid));
+    }
+
+    let mut neighbours: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in domain.complex().iter_dim(1) {
+        let vs = e.vertices();
+        let (i, j) = (dense[vs[0].0 as usize], dense[vs[1].0 as usize]);
+        neighbours[i as usize].push(j);
+        neighbours[j as usize].push(i);
+    }
+
+    DomainTables {
+        vertices,
+        dense,
+        vertex_cids,
+        carriers,
+        simplices,
+        per_vertex,
+        neighbours,
+    }
 }
 
 /// Upper bound on the cardinality of a single domain simplex the dense
@@ -224,47 +347,54 @@ pub type DomainHint = dyn Fn(VertexId, &[VertexId]) -> Vec<VertexId> + Sync;
 /// geometric proximity under a continuous map being approximated); it does
 /// not restrict the domain, only its exploration order.
 pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> SolveOutcome {
-    let a = problem.domain;
-    let task = problem.task;
+    let tables = prepare_domain(problem.domain, problem.vertex_carrier);
+    solve_prepared(&tables, problem.domain, problem.task, domain_hint)
+}
 
-    // Dense renumbering of the domain vertices (vertex ids are allocated
-    // densely by the subdivision machinery, so the lookup table is small).
-    let vertices: Vec<VertexId> = a.complex().vertex_set().into_iter().collect();
+/// [`solve`] against precomputed [`DomainTables`]: only the task-dependent
+/// work remains — the `Δ`-image table (one `Task::allowed_ref` lookup per
+/// distinct carrier), the per-vertex candidate domains, the variable
+/// order, and the search itself. Returns exactly what [`solve`] returns
+/// for the same problem, for any thread count.
+///
+/// # Panics
+///
+/// Panics (or returns nonsense) if `tables` was prepared for a different
+/// domain complex than `domain`.
+pub fn solve_prepared(
+    tables: &DomainTables,
+    domain: &ChromaticComplex,
+    task: &Task,
+    domain_hint: Option<&DomainHint>,
+) -> SolveOutcome {
+    let a = domain;
+    let DomainTables {
+        vertices,
+        dense,
+        vertex_cids,
+        carriers,
+        simplices,
+        per_vertex,
+        neighbours,
+    } = tables;
     let n = vertices.len();
-    let max_id = vertices.last().map(|v| v.0 as usize + 1).unwrap_or(0);
-    let mut dense = vec![u32::MAX; max_id];
-    for (i, v) in vertices.iter().enumerate() {
-        dense[v.0 as usize] = i as u32;
-    }
 
-    // Δ images memoized per *interned carrier id*: one `Δ` lookup (no
-    // clone — the image complexes are borrowed from the task) per distinct
-    // carrier, and constraints refer to their carrier by `u32`.
-    fn image_id<'t>(
-        carrier: &Simplex,
-        carriers: &mut SimplexArena,
-        images: &mut Vec<&'t Complex>,
-        task: &'t Task,
-        empty: &'t Complex,
-    ) -> u32 {
-        let id = carriers.intern(carrier);
-        if id.index() == images.len() {
-            images.push(task.allowed_ref(carrier).unwrap_or(empty));
-        }
-        id.0
-    }
+    // Δ images per interned carrier id: one `Δ` lookup (no clone — the
+    // image complexes are borrowed from the task) per distinct carrier;
+    // constraints refer to their carrier by `u32` into this table.
     let empty_image = Complex::new();
-    let mut carriers = SimplexArena::new();
-    let mut images: Vec<&Complex> = Vec::new();
+    let images: Vec<&Complex> = carriers
+        .iter()
+        .map(|carrier| task.allowed_ref(carrier).unwrap_or(&empty_image))
+        .collect();
 
     // Vertex domains: same-colored output vertices allowed by the vertex's
-    // carrier. Sequentially this is the original single pass (no
-    // intermediate buffers, early exit on the first empty domain). In
-    // parallel mode carrier interning stays sequential (the arena is
-    // shared mutable state) while the per-vertex candidate construction —
-    // including the caller's hint, the expensive part on the `L_t`
-    // pipeline — fans out across workers, reduced in vertex order.
-    let build_domain = |v: VertexId, cid: u32, images: &[&Complex]| -> Vec<VertexId> {
+    // carrier. Sequentially this is a single pass with early exit on the
+    // first empty domain; in parallel mode the per-vertex candidate
+    // construction — including the caller's hint, the expensive part on
+    // the `L_t` pipeline — fans out across workers, reduced in vertex
+    // order.
+    let build_domain = |v: VertexId, cid: u32| -> Vec<VertexId> {
         let allowed = &images[cid as usize];
         let color = a.color(v);
         let mut cands: Vec<VertexId> = allowed
@@ -279,10 +409,8 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
     };
     let domains: Vec<Vec<VertexId>> = if gact_parallel::current_threads() <= 1 {
         let mut domains = Vec::with_capacity(n);
-        for &v in &vertices {
-            let carrier = &problem.vertex_carrier[&v];
-            let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
-            let cands = build_domain(v, cid, &images);
+        for (i, &v) in vertices.iter().enumerate() {
+            let cands = build_domain(v, vertex_cids[i]);
             if cands.is_empty() {
                 return SolveOutcome::Unsatisfiable(SolveStats::default());
             }
@@ -290,56 +418,23 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
         }
         domains
     } else {
-        let vertex_cids: Vec<(VertexId, u32)> = vertices
+        let indexed: Vec<(VertexId, u32)> = vertices
             .iter()
-            .map(|&v| {
-                let carrier = &problem.vertex_carrier[&v];
-                let cid = image_id(carrier, &mut carriers, &mut images, task, &empty_image);
-                (v, cid)
-            })
+            .zip(vertex_cids)
+            .map(|(&v, &cid)| (v, cid))
             .collect();
-        let images = &images;
-        let domains =
-            gact_parallel::par_map(&vertex_cids, |&(v, cid)| build_domain(v, cid, images));
+        let domains = gact_parallel::par_map(&indexed, |&(v, cid)| build_domain(v, cid));
         if domains.iter().any(|d| d.is_empty()) {
             return SolveOutcome::Unsatisfiable(SolveStats::default());
         }
         domains
     };
 
-    // Constraint simplices (dim ≥ 1) with carriers memoized per interned
-    // simplex, and the per-vertex constraint index.
-    let mut simplices: Vec<(Simplex, u32)> = Vec::new();
-    let mut per_vertex: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for s in a.complex().iter() {
-        if s.dim() == 0 {
-            continue;
-        }
-        assert!(
-            s.card() <= MAX_CARD,
-            "domain simplex too large for the solver"
-        );
-        let carrier = simplex_carrier(s, problem.vertex_carrier);
-        let cid = image_id(&carrier, &mut carriers, &mut images, task, &empty_image);
-        let si = simplices.len() as u32;
-        for v in s.iter() {
-            per_vertex[dense[v.0 as usize] as usize].push(si);
-        }
-        simplices.push((s.clone(), cid));
-    }
-
     // Variable order: adjacency-guided. Start from the most constrained
     // vertex; repeatedly pick the unordered vertex with the most already-
     // ordered neighbours (ties: smallest domain). On subdivision complexes
     // this makes every assignment immediately constrained by its simplex
     // neighbours, keeping backtracking shallow.
-    let mut neighbours: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for e in a.complex().iter_dim(1) {
-        let vs = e.vertices();
-        let (i, j) = (dense[vs[0].0 as usize], dense[vs[1].0 as usize]);
-        neighbours[i as usize].push(j);
-        neighbours[j as usize].push(i);
-    }
     let mut order: Vec<u32> = Vec::with_capacity(n);
     {
         let mut placed = vec![false; n];
@@ -367,9 +462,9 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
     let (found, stats) = if threads <= 1 || n == 0 {
         let mut search = Search {
             domains: &domains,
-            dense: &dense,
-            simplices: &simplices,
-            per_vertex: &per_vertex,
+            dense,
+            simplices,
+            per_vertex,
             images: &images,
             order: &order,
             assignment: vec![UNASSIGNED; n],
@@ -380,7 +475,7 @@ pub fn solve(problem: &MapProblem<'_>, domain_hint: Option<&DomainHint>) -> Solv
         let stats = search.stats;
         (found.then_some(search.assignment), stats)
     } else {
-        parallel_search(&domains, &dense, &simplices, &per_vertex, &images, &order)
+        parallel_search(&domains, dense, simplices, per_vertex, &images, &order)
     };
     if let Some(assignment) = found {
         let map = SimplicialMap::new(

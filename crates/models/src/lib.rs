@@ -22,10 +22,13 @@
 //! assert!(res1.contains(&Run::fair(3)));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod geometric;
 pub mod model;
 pub mod projection;
 pub mod sampler;
+pub mod spec;
 
 pub use geometric::{geometric_obstruction_free, geometric_t_resilient, GeometricModel};
 pub use model::{
@@ -33,3 +36,4 @@ pub use model::{
 };
 pub use projection::{affine_projection, canonical_coloring_at_depth};
 pub use sampler::{enumerate_runs, RunSampler, SamplerConfig};
+pub use spec::ModelSpec;

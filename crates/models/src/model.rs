@@ -12,6 +12,21 @@ use std::fmt;
 use gact_iis::{ProcessSet, Run};
 
 /// A sub-IIS model: a set of runs `M ⊆ R` (paper §2.2).
+///
+/// # Examples
+///
+/// Restrict an enumerated run set to a model (the standard preamble of a
+/// model-specific solvability or verification query):
+///
+/// ```
+/// use gact_models::{enumerate_runs, SubIisModel, TResilient};
+///
+/// let res1 = TResilient { n_procs: 3, t: 1 };
+/// let runs = res1.filter_batch(enumerate_runs(3, 0));
+/// assert!(!runs.is_empty());
+/// // Every kept run has at least n + 1 − t = 2 fast processes.
+/// assert!(runs.iter().all(|r| r.fast().len() >= 2));
+/// ```
 pub trait SubIisModel {
     /// Number of processes `n + 1`.
     fn process_count(&self) -> usize;

@@ -1,0 +1,155 @@
+//! Declarative model specifications: a serializable-by-name description of
+//! a sub-IIS model family, instantiated per process count.
+//!
+//! The scenario-matrix engine crosses task constructors with model
+//! constructors over parameter ranges; [`ModelSpec`] is the model half of
+//! that cross product. Each variant names one of the paper's families
+//! (Examples 2.1–2.4 and their geometric §5 formulations) with its
+//! parameters, and [`ModelSpec::build`] instantiates the concrete
+//! [`SubIisModel`] for a given number of processes.
+
+use crate::geometric::{geometric_obstruction_free, geometric_t_resilient};
+use crate::model::{ObstructionFree, SubIisModel, TResilient, WaitFree};
+
+/// A named, parameterized sub-IIS model family (the declarative half of a
+/// scenario's model axis).
+///
+/// # Examples
+///
+/// ```
+/// use gact_iis::Run;
+/// use gact_models::ModelSpec;
+///
+/// let spec = ModelSpec::TResilient { t: 1 };
+/// let model = spec.build(3);
+/// assert!(model.contains(&Run::fair(3)));
+/// assert_eq!(model.name(), "Res_1(3)");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// Example 2.1 — the full wait-free model `WF = R`.
+    WaitFree,
+    /// Example 2.2 — the `t`-resilient model `Res_t`.
+    TResilient {
+        /// Maximum number of slow processes.
+        t: usize,
+    },
+    /// Example 2.3 — the `k`-obstruction-free model `OF_k`.
+    ObstructionFree {
+        /// Maximum number of fast processes.
+        k: usize,
+    },
+    /// §5 — the projection-defined (geometric) formulation of `Res_t`:
+    /// runs whose `π`-image has support of at least `n + 1 − t`
+    /// coordinates. Extensionally equal to `Res_t`, decided through the
+    /// affine projection instead of `fast(r)`.
+    GeometricTResilient {
+        /// Maximum number of slow processes.
+        t: usize,
+    },
+    /// §5 — the projection-defined formulation of `OF_k`: runs whose
+    /// `π`-image is supported on at most `k` coordinates.
+    GeometricObstructionFree {
+        /// Maximum number of fast processes.
+        k: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Instantiates the concrete model over `n_procs` processes.
+    pub fn build(&self, n_procs: usize) -> Box<dyn SubIisModel + Send + Sync> {
+        match *self {
+            ModelSpec::WaitFree => Box::new(WaitFree { n_procs }),
+            ModelSpec::TResilient { t } => Box::new(TResilient { n_procs, t }),
+            ModelSpec::ObstructionFree { k } => Box::new(ObstructionFree { n_procs, k }),
+            ModelSpec::GeometricTResilient { t } => Box::new(geometric_t_resilient(n_procs, t)),
+            ModelSpec::GeometricObstructionFree { k } => {
+                Box::new(geometric_obstruction_free(n_procs, k))
+            }
+        }
+    }
+
+    /// The instantiated model's display name (same as
+    /// `self.build(n_procs).name()`, without constructing the model).
+    pub fn label(&self, n_procs: usize) -> String {
+        self.build(n_procs).name()
+    }
+
+    /// Whether this model contains *every* run (so a wait-free protocol —
+    /// hence a wait-free solvability verdict — transfers verbatim, and a
+    /// wait-free impossibility is an impossibility for it too).
+    pub fn is_full(&self) -> bool {
+        matches!(self, ModelSpec::WaitFree)
+    }
+
+    /// `Some(t)` when this model is extensionally the `t`-resilient model
+    /// `Res_t` (combinatorial or geometric) — the certificate-construction
+    /// path of Proposition 9.2 applies to exactly these.
+    pub fn resilience(&self) -> Option<usize> {
+        match *self {
+            ModelSpec::TResilient { t } | ModelSpec::GeometricTResilient { t } => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::enumerate_runs;
+
+    #[test]
+    fn specs_match_direct_constructions() {
+        let runs = enumerate_runs(3, 0);
+        let pairs: Vec<(ModelSpec, Box<dyn SubIisModel + Send + Sync>)> = vec![
+            (ModelSpec::WaitFree, Box::new(WaitFree { n_procs: 3 })),
+            (
+                ModelSpec::TResilient { t: 1 },
+                Box::new(TResilient { n_procs: 3, t: 1 }),
+            ),
+            (
+                ModelSpec::ObstructionFree { k: 1 },
+                Box::new(ObstructionFree { n_procs: 3, k: 1 }),
+            ),
+        ];
+        for (spec, direct) in &pairs {
+            let built = spec.build(3);
+            assert_eq!(built.name(), direct.name());
+            for r in &runs {
+                assert_eq!(built.contains(r), direct.contains(r), "{}", built.name());
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_specs_match_combinatorial_extension() {
+        let runs = enumerate_runs(3, 0);
+        let geo = ModelSpec::GeometricTResilient { t: 1 }.build(3);
+        let comb = ModelSpec::TResilient { t: 1 }.build(3);
+        for r in &runs {
+            assert_eq!(geo.contains(r), comb.contains(r));
+        }
+        assert_eq!(
+            ModelSpec::GeometricTResilient { t: 1 }.resilience(),
+            Some(1)
+        );
+        assert!(ModelSpec::WaitFree.is_full());
+        assert!(!ModelSpec::ObstructionFree { k: 2 }.is_full());
+    }
+
+    #[test]
+    fn built_models_support_batch_filtering() {
+        // The boxed trait object keeps the parallel batch API (the
+        // `Self: Sync` bound is satisfied by `dyn SubIisModel + Send +
+        // Sync`), so scenario drivers filter through `filter_batch`
+        // directly.
+        let runs = enumerate_runs(3, 0);
+        let model = ModelSpec::TResilient { t: 1 }.build(3);
+        let kept = model.filter_batch(runs.clone());
+        assert_eq!(
+            kept.len(),
+            runs.iter().filter(|r| model.contains(r)).count()
+        );
+        assert!(kept.iter().all(|r| model.contains(r)));
+    }
+}

@@ -38,6 +38,8 @@
 //! finishes draining (memory safety for borrowed data) and then resumes
 //! the first panic on the caller.
 
+#![deny(missing_docs)]
+
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;

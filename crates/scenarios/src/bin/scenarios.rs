@@ -1,0 +1,160 @@
+//! The `scenarios` binary: run named scenario families through the GACT
+//! pipeline and print (or export) per-cell verdicts.
+//!
+//! ```console
+//! $ scenarios --list                          # registered families
+//! $ scenarios --family all                    # run everything, table to stdout
+//! $ scenarios --family rounds-sweep --json sweep.json
+//! $ scenarios --family all --filter consensus # substring filter on cell labels
+//! $ scenarios --family all --cold             # disable cross-cell caching
+//! ```
+//!
+//! The JSON report schema is documented in `gact_scenarios::report` and in
+//! `docs/benchmarks.md`.
+
+use gact::cache::QueryCache;
+use gact_scenarios::{cells_for, families, run_matrix, run_matrix_cold, to_json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios [--list] [--family NAME] [--filter SUBSTR] [--json [PATH]] [--cold]\n\
+         \n\
+         --list           print registered families and exit\n\
+         --family NAME    family to run (default: all)\n\
+         --filter SUBSTR  keep only cells whose label contains SUBSTR\n\
+         --json [PATH]    also write the schema-1 JSON report (default path:\n\
+         \x20                scenarios_results.json)\n\
+         --cold           fresh cache per cell (the uncached baseline)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family = "all".to_string();
+    let mut filter: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut cold = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("registered scenario families:");
+                for f in families() {
+                    println!(
+                        "  {:<14} {:>3} cells  {}",
+                        f.name,
+                        f.cells().len(),
+                        f.description
+                    );
+                }
+                println!(
+                    "  {:<14} {:>3} cells  every family above except `smoke`",
+                    "all",
+                    cells_for("all").map(|c| c.len()).unwrap_or(0)
+                );
+                return;
+            }
+            "--family" => {
+                i += 1;
+                family = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--filter" => {
+                i += 1;
+                filter = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--json" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with('-'));
+                json_path = Some(match next {
+                    Some(p) => {
+                        i += 1;
+                        p.clone()
+                    }
+                    None => "scenarios_results.json".to_string(),
+                });
+            }
+            "--cold" => cold = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let Some(mut cells) = cells_for(&family) else {
+        eprintln!(
+            "unknown family `{family}`; registered: {}",
+            families()
+                .iter()
+                .map(|f| f.name)
+                .chain(["all"])
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    if let Some(f) = &filter {
+        cells.retain(|c| c.label().contains(f.as_str()));
+    }
+    if cells.is_empty() {
+        eprintln!("no cells left after --filter; nothing to do");
+        std::process::exit(1);
+    }
+
+    println!(
+        "scenario matrix `{family}`: {} cells ({})",
+        cells.len(),
+        if cold {
+            "cold per-cell"
+        } else {
+            "shared cache"
+        }
+    );
+    let report = if cold {
+        run_matrix_cold(&cells)
+    } else {
+        run_matrix(&cells, &QueryCache::new())
+    };
+
+    println!(
+        "  {:<14} {:<34} {:<12} {:<18} detail",
+        "family", "task × model", "verdict", "wall"
+    );
+    for r in &report.results {
+        println!(
+            "  {:<14} {:<34} {:<12} {:<18} {}",
+            r.cell.family,
+            r.cell.label(),
+            r.verdict.kind(),
+            format!("{:?}", r.wall),
+            r.verdict.detail()
+        );
+    }
+    println!(
+        "\n{} cells in {:?} ({:.1} cells/sec): {} solvable, {} unsolvable, {} protocol-verified, {} unknown",
+        report.results.len(),
+        report.total_wall,
+        report.cells_per_sec(),
+        report.count_kind("solvable"),
+        report.count_kind("unsolvable"),
+        report.count_kind("protocol-verified"),
+        report.count_kind("unknown"),
+    );
+    if !cold {
+        let sub = report.subdivision_stats;
+        let tab = report.table_stats;
+        println!(
+            "cache: subdivisions {}/{} hits ({:.0}%), domain tables {}/{} hits ({:.0}%)",
+            sub.hits,
+            sub.hits + sub.misses,
+            100.0 * sub.hit_rate(),
+            tab.hits,
+            tab.hits + tab.misses,
+            100.0 * tab.hit_rate(),
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = to_json(&family, &report);
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {} cells to {path}", report.results.len());
+    }
+}

@@ -1,0 +1,402 @@
+//! The registry of named scenario families: every task constructor in
+//! `gact-tasks` crossed with every model family in `gact-models`, over
+//! curated parameter grids.
+//!
+//! Families are deterministic functions of their name — the same name
+//! always enumerates the same cells in the same order, so sweep reports
+//! are comparable across runs and machines. `all` concatenates every
+//! registered family (except the CI-oriented `smoke` subset) in registry
+//! order.
+
+use gact_models::ModelSpec;
+
+use crate::matrix::Cell;
+use crate::spec::TaskSpec;
+
+/// A named scenario family: a description plus its cell enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct Family {
+    /// Registry name (the `--family` argument).
+    pub name: &'static str,
+    /// One-line description shown by `--list`.
+    pub description: &'static str,
+    cells: fn() -> Vec<Cell>,
+}
+
+impl Family {
+    /// The family's cells, in deterministic order.
+    pub fn cells(&self) -> Vec<Cell> {
+        (self.cells)()
+    }
+}
+
+fn cell(family: &'static str, task: TaskSpec, model: ModelSpec, max_depth: usize) -> Cell {
+    Cell {
+        family,
+        task,
+        model,
+        max_depth,
+    }
+}
+
+/// `wf-classic`: consensus and k-set agreement against the wait-free
+/// model — the impossibility benchmarks of the ACT literature plus
+/// positive controls.
+fn wf_classic() -> Vec<Cell> {
+    const F: &str = "wf-classic";
+    let wf = ModelSpec::WaitFree;
+    vec![
+        cell(F, TaskSpec::Consensus { n: 1, n_values: 2 }, wf, 2),
+        cell(F, TaskSpec::Consensus { n: 1, n_values: 3 }, wf, 2),
+        cell(F, TaskSpec::Consensus { n: 2, n_values: 2 }, wf, 2),
+        // 2-set agreement, 2 processes: trivially solvable (k ≥ processes).
+        cell(
+            F,
+            TaskSpec::SetAgreement {
+                n: 1,
+                n_values: 2,
+                k: 2,
+            },
+            wf,
+            0,
+        ),
+        // 2-set agreement, 3 processes, 2 values: at most 2 distinct
+        // outputs is automatic — solvable.
+        cell(
+            F,
+            TaskSpec::SetAgreement {
+                n: 2,
+                n_values: 2,
+                k: 2,
+            },
+            wf,
+            0,
+        ),
+        // The genuinely hard case (wait-free unsolvable, but not by the
+        // connectivity obstruction): inconclusive at the searched depth.
+        cell(
+            F,
+            TaskSpec::SetAgreement {
+                n: 2,
+                n_values: 3,
+                k: 2,
+            },
+            wf,
+            0,
+        ),
+    ]
+}
+
+/// `wf-affine`: the paper's affine tasks against the wait-free model.
+fn wf_affine() -> Vec<Cell> {
+    const F: &str = "wf-affine";
+    let wf = ModelSpec::WaitFree;
+    let mut cells = Vec::new();
+    for n in 1..=2usize {
+        for depth in 0..=2usize {
+            cells.push(cell(F, TaskSpec::FullSubdivision { n, depth }, wf, depth));
+        }
+    }
+    cells.push(cell(F, TaskSpec::TotalOrder { n: 1 }, wf, 1));
+    cells.push(cell(F, TaskSpec::TotalOrder { n: 2 }, wf, 1));
+    // L_1 needs the t-resilient model; wait-free it is inconclusive
+    // (Δ(corner) = ∅ empties a solver domain at every depth).
+    cells.push(cell(F, TaskSpec::Lt { n: 2, t: 1 }, wf, 1));
+    // L_n = Chr² s: wait-free solvable at depth 2.
+    cells.push(cell(F, TaskSpec::Lt { n: 1, t: 1 }, wf, 2));
+    cells.push(cell(F, TaskSpec::Lt { n: 2, t: 2 }, wf, 2));
+    cells
+}
+
+/// `rounds-sweep`: the cache-lever family — affine queries over the same
+/// base complex (the standard triangle) swept over round bounds
+/// `m ∈ {1, 2, 3}`. Every cell subdivides the same `s`, so a shared cache
+/// builds each `Chr^m` stage once for the whole family while a cold
+/// per-cell run rebuilds them per cell; `gact-bench` measures the ratio.
+fn rounds_sweep() -> Vec<Cell> {
+    const F: &str = "rounds-sweep";
+    let wf = ModelSpec::WaitFree;
+    let mut cells = Vec::new();
+    for m in 1..=3usize {
+        // L_0 and L_1 over the triangle: never wait-free solvable (empty
+        // corner domains refute instantly), so the act sweep builds and
+        // tables Chr^1..Chr^m and the verdict is depth-independent. The
+        // same queries under non-full models (inconclusive there — no
+        // certificate constructor applies) share every subdivision stage
+        // and domain table with the wait-free cells.
+        cells.push(cell(F, TaskSpec::Lt { n: 2, t: 0 }, wf, m));
+        cells.push(cell(F, TaskSpec::Lt { n: 2, t: 1 }, wf, m));
+        cells.push(cell(
+            F,
+            TaskSpec::Lt { n: 2, t: 1 },
+            ModelSpec::ObstructionFree { k: 1 },
+            m,
+        ));
+        cells.push(cell(
+            F,
+            TaskSpec::Lt { n: 2, t: 0 },
+            ModelSpec::TResilient { t: 2 },
+            m,
+        ));
+        // L_ord rides along: its ambient Chr² of the same triangle comes
+        // from (and populates) the shared cache, and its verdict is the
+        // depth-independent obstruction.
+        cells.push(cell(F, TaskSpec::TotalOrder { n: 2 }, wf, m));
+    }
+    cells
+}
+
+/// `resilient`: the t-resilient model axis — Proposition 9.2's
+/// certificate cells plus wait-free-transfer and honest-unknown cells.
+fn resilient() -> Vec<Cell> {
+    const F: &str = "resilient";
+    vec![
+        // The paper's showcase: L_1 solvable 1-resiliently (certificate
+        // built and verified on every enumerated Res_1 run).
+        cell(
+            F,
+            TaskSpec::Lt { n: 2, t: 1 },
+            ModelSpec::TResilient { t: 1 },
+            1,
+        ),
+        // L_n in Res_n: wait-free solvable already.
+        cell(
+            F,
+            TaskSpec::Lt { n: 2, t: 2 },
+            ModelSpec::TResilient { t: 2 },
+            2,
+        ),
+        // Wait-free verdicts transfer into the submodel.
+        cell(
+            F,
+            TaskSpec::FullSubdivision { n: 2, depth: 1 },
+            ModelSpec::TResilient { t: 1 },
+            1,
+        ),
+        // FLP territory: consensus in Res_1 — our bounded pipeline is
+        // honest about not deciding it.
+        cell(
+            F,
+            TaskSpec::Consensus { n: 2, n_values: 2 },
+            ModelSpec::TResilient { t: 1 },
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::TotalOrder { n: 2 },
+            ModelSpec::TResilient { t: 1 },
+            1,
+        ),
+    ]
+}
+
+/// `geometric`: projection-defined (§5) models — the geometric `Res_t`
+/// certificate cell plus geometric obstruction-free cells.
+fn geometric() -> Vec<Cell> {
+    const F: &str = "geometric";
+    vec![
+        // Same certificate as `resilient`, admissibility checked against
+        // the π-defined model.
+        cell(
+            F,
+            TaskSpec::Lt { n: 2, t: 1 },
+            ModelSpec::GeometricTResilient { t: 1 },
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::FullSubdivision { n: 1, depth: 1 },
+            ModelSpec::GeometricTResilient { t: 1 },
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::FullSubdivision { n: 2, depth: 1 },
+            ModelSpec::GeometricObstructionFree { k: 2 },
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::Consensus { n: 1, n_values: 2 },
+            ModelSpec::GeometricObstructionFree { k: 1 },
+            1,
+        ),
+    ]
+}
+
+/// `commit-adopt`: the §4.5 protocol checked operationally across model
+/// families.
+fn commit_adopt() -> Vec<Cell> {
+    const F: &str = "commit-adopt";
+    let mut cells = Vec::new();
+    for n in 1..=2usize {
+        for model in [
+            ModelSpec::WaitFree,
+            ModelSpec::TResilient { t: 1 },
+            ModelSpec::ObstructionFree { k: 1 },
+            ModelSpec::ObstructionFree { k: 2 },
+        ] {
+            cells.push(cell(F, TaskSpec::CommitAdopt { n }, model, 0));
+        }
+    }
+    cells
+}
+
+/// `smoke`: a fast CI subset — one representative cell per verdict class,
+/// all small parameters, no certificate construction.
+fn smoke() -> Vec<Cell> {
+    const F: &str = "smoke";
+    vec![
+        cell(
+            F,
+            TaskSpec::FullSubdivision { n: 1, depth: 1 },
+            ModelSpec::WaitFree,
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::Consensus { n: 1, n_values: 2 },
+            ModelSpec::WaitFree,
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::SetAgreement {
+                n: 1,
+                n_values: 2,
+                k: 2,
+            },
+            ModelSpec::WaitFree,
+            0,
+        ),
+        cell(
+            F,
+            TaskSpec::FullSubdivision { n: 1, depth: 1 },
+            ModelSpec::TResilient { t: 1 },
+            1,
+        ),
+        cell(
+            F,
+            TaskSpec::Consensus { n: 1, n_values: 2 },
+            ModelSpec::ObstructionFree { k: 1 },
+            1,
+        ),
+        cell(F, TaskSpec::CommitAdopt { n: 1 }, ModelSpec::WaitFree, 0),
+    ]
+}
+
+/// Every registered family, in registry order.
+pub fn families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "wf-classic",
+            description: "consensus & k-set agreement vs the wait-free model",
+            cells: wf_classic,
+        },
+        Family {
+            name: "wf-affine",
+            description: "affine tasks (Chr^k, L_ord, L_t) vs the wait-free model",
+            cells: wf_affine,
+        },
+        Family {
+            name: "rounds-sweep",
+            description: "round-bound sweep m ∈ {1,2,3} over one base complex (the cache lever)",
+            cells: rounds_sweep,
+        },
+        Family {
+            name: "resilient",
+            description: "t-resilient model: Prop. 9.2 certificates + transfers",
+            cells: resilient,
+        },
+        Family {
+            name: "geometric",
+            description: "projection-defined (§5) models",
+            cells: geometric,
+        },
+        Family {
+            name: "commit-adopt",
+            description: "commit–adopt protocol conformance across models",
+            cells: commit_adopt,
+        },
+        Family {
+            name: "smoke",
+            description: "fast CI subset (excluded from `all`)",
+            cells: smoke,
+        },
+    ]
+}
+
+/// Looks a family up by name; `all` resolves to every family except
+/// `smoke`, concatenated in registry order.
+pub fn cells_for(name: &str) -> Option<Vec<Cell>> {
+    if name == "all" {
+        let mut cells = Vec::new();
+        for family in families() {
+            if family.name != "smoke" {
+                cells.extend(family.cells());
+            }
+        }
+        return Some(cells);
+    }
+    families()
+        .into_iter()
+        .find(|f| f.name == name)
+        .map(|f| f.cells())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enumerates_at_least_thirty_cells() {
+        let cells = cells_for("all").expect("all is registered");
+        assert!(
+            cells.len() >= 30,
+            "`all` must span ≥ 30 cells, got {}",
+            cells.len()
+        );
+    }
+
+    #[test]
+    fn families_are_deterministic_and_well_formed() {
+        for family in families() {
+            let a = family.cells();
+            let b = cells_for(family.name).unwrap();
+            assert_eq!(a, b, "{} must enumerate deterministically", family.name);
+            assert!(!a.is_empty(), "{} must not be empty", family.name);
+            for c in &a {
+                assert_eq!(c.family, family.name);
+            }
+        }
+        assert!(cells_for("no-such-family").is_none());
+    }
+
+    #[test]
+    fn every_task_and_model_constructor_is_covered() {
+        let cells = cells_for("all").unwrap();
+        let has = |pred: &dyn Fn(&Cell) -> bool| cells.iter().any(pred);
+        // Task axis: classic, affine (all three), commit–adopt.
+        assert!(has(&|c| matches!(c.task, TaskSpec::Consensus { .. })));
+        assert!(has(&|c| matches!(c.task, TaskSpec::SetAgreement { .. })));
+        assert!(has(&|c| matches!(c.task, TaskSpec::FullSubdivision { .. })));
+        assert!(has(&|c| matches!(c.task, TaskSpec::TotalOrder { .. })));
+        assert!(has(&|c| matches!(c.task, TaskSpec::Lt { .. })));
+        assert!(has(&|c| matches!(c.task, TaskSpec::CommitAdopt { .. })));
+        // Model axis: wait-free, t-resilient, obstruction-free, geometric.
+        assert!(has(&|c| matches!(c.model, ModelSpec::WaitFree)));
+        assert!(has(&|c| matches!(c.model, ModelSpec::TResilient { .. })));
+        assert!(has(&|c| matches!(
+            c.model,
+            ModelSpec::ObstructionFree { .. }
+        )));
+        assert!(has(&|c| matches!(
+            c.model,
+            ModelSpec::GeometricTResilient { .. }
+        )));
+        assert!(has(&|c| matches!(
+            c.model,
+            ModelSpec::GeometricObstructionFree { .. }
+        )));
+    }
+}

@@ -1,0 +1,130 @@
+//! Machine-readable sweep reports (`scenarios --json`), serialized by
+//! hand like `gact-bench`'s `BENCH_results.json` (the build environment
+//! has no serde).
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "kind": "scenario-matrix",
+//!   "family": "all",
+//!   "cells": [
+//!     {"family": "...", "task": "...", "model": "...", "max_depth": 1,
+//!      "verdict": "solvable", "detail": "wait-free map at depth 1",
+//!      "wall_ms": 0.42}
+//!   ],
+//!   "totals": {"cells": 43, "solvable": 20, "unsolvable": 5,
+//!              "protocol_verified": 8, "unknown": 10, "wall_ms": 123.4,
+//!              "subdivision_cache": {"hits": 90, "misses": 9},
+//!              "domain_table_cache": {"hits": 40, "misses": 8}}
+//! }
+//! ```
+//!
+//! Every field except the `wall_ms` timings is deterministic for a given
+//! family and code version.
+
+use std::fmt::Write as _;
+
+use crate::matrix::MatrixReport;
+
+/// Escapes backslashes and double quotes for embedding in a JSON string.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes a matrix report as the schema-1 JSON document.
+pub fn to_json(family: &str, report: &MatrixReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"scenario-matrix\",");
+    let _ = writeln!(out, "  \"family\": \"{}\",", json_escape(family));
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, r) in report.results.iter().enumerate() {
+        let comma = if i + 1 < report.results.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"task\": \"{}\", \"model\": \"{}\", \"max_depth\": {}, \
+             \"verdict\": \"{}\", \"detail\": \"{}\", \"wall_ms\": {:.3}}}{}",
+            json_escape(r.cell.family),
+            json_escape(&r.cell.task.label()),
+            json_escape(&r.cell.model.label(r.cell.task.process_count())),
+            r.cell.max_depth,
+            r.verdict.kind(),
+            json_escape(&r.verdict.detail()),
+            r.wall.as_secs_f64() * 1e3,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let sub = report.subdivision_stats;
+    let tab = report.table_stats;
+    let _ = writeln!(out, "  \"totals\": {{");
+    let _ = writeln!(out, "    \"cells\": {},", report.results.len());
+    let _ = writeln!(out, "    \"solvable\": {},", report.count_kind("solvable"));
+    let _ = writeln!(
+        out,
+        "    \"unsolvable\": {},",
+        report.count_kind("unsolvable")
+    );
+    let _ = writeln!(
+        out,
+        "    \"protocol_verified\": {},",
+        report.count_kind("protocol-verified")
+    );
+    let _ = writeln!(out, "    \"unknown\": {},", report.count_kind("unknown"));
+    let _ = writeln!(
+        out,
+        "    \"wall_ms\": {:.3},",
+        report.total_wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "    \"subdivision_cache\": {{\"hits\": {}, \"misses\": {}}},",
+        sub.hits, sub.misses
+    );
+    let _ = writeln!(
+        out,
+        "    \"domain_table_cache\": {{\"hits\": {}, \"misses\": {}}}",
+        tab.hits, tab.misses
+    );
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Counts the cell records in a schema-1 scenario report (one
+/// `"task": "…"` key per cell). The smoke tests and CI use this to assert
+/// a sweep actually enumerated its cells without a JSON parser.
+pub fn count_cells(json: &str) -> usize {
+    json.matches("\"task\": \"").count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_matrix;
+    use crate::registry::cells_for;
+    use gact::cache::QueryCache;
+
+    #[test]
+    fn json_shape_is_parseable_enough() {
+        let cells = cells_for("smoke").unwrap();
+        let cache = QueryCache::new();
+        let report = run_matrix(&cells, &cache);
+        let json = to_json("smoke", &report);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"kind\": \"scenario-matrix\""));
+        assert!(json.contains("\"family\": \"smoke\""));
+        assert_eq!(count_cells(&json), cells.len());
+        assert!(json.contains("\"subdivision_cache\""));
+        // Balanced braces/brackets (rough but effective shape check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -10,6 +10,8 @@
 //!   `(n−t−1)`-dimensional face of `s`, solvable `t`-resiliently
 //!   (Proposition 9.2).
 
+use std::sync::Arc;
+
 use gact_chromatic::standard_simplex;
 use gact_chromatic::{chr_iter, CarrierMap, ChromaticSubdivision};
 use gact_topology::{Complex, Simplex};
@@ -24,8 +26,10 @@ pub struct AffineTask {
     pub task: Task,
     /// Subdivision depth `k`.
     pub depth: usize,
-    /// The ambient `Chr^k s`, with carriers into `s`.
-    pub ambient: ChromaticSubdivision,
+    /// The ambient `Chr^k s`, with carriers into `s`. Shared (`Arc`) so a
+    /// scenario sweep can hand the same cached subdivision to every affine
+    /// task built over it instead of re-subdividing per task.
+    pub ambient: Arc<ChromaticSubdivision>,
     /// The selected output complex `L` (a subcomplex of the ambient).
     pub selected: Complex,
 }
@@ -62,14 +66,52 @@ impl std::error::Error for AffineError {}
 ///
 /// Returns an error when the selection violates the purity conditions of
 /// §4.2.
+///
+/// # Examples
+///
+/// ```
+/// use gact_tasks::affine::affine_task;
+///
+/// // Keep only the central facet of Chr(s) (all carriers full): a valid
+/// // affine task whose Δ(edge) images are empty.
+/// let at = affine_task(2, 1, "central", |f, amb| {
+///     f.iter().all(|v| amb.vertex_carrier[&v].card() == 3)
+/// })
+/// .unwrap();
+/// at.task.validate().unwrap();
+/// assert_eq!(at.selected.count_of_dim(2), 1);
+/// ```
 pub fn affine_task(
     n: usize,
     depth: usize,
     name: &str,
+    select: impl FnMut(&Simplex, &ChromaticSubdivision) -> bool,
+) -> Result<AffineTask, AffineError> {
+    let (s, g) = standard_simplex(n);
+    let ambient = Arc::new(chr_iter(&s, &g, depth));
+    affine_task_in(n, depth, name, ambient, select)
+}
+
+/// [`affine_task`] over a pre-built (typically cached, shared) ambient
+/// subdivision: `ambient` **must** be `Chr^depth` of the standard simplex
+/// over `n + 1` processes, structurally identical to what
+/// [`gact_chromatic::chr_iter`] produces — e.g. an
+/// [`gact_chromatic::SubdivisionCache`] entry. The scenario-matrix sweep
+/// uses this to build every affine task of a family against one shared
+/// `Chr^k s` instead of re-subdividing per task.
+///
+/// # Errors
+///
+/// Returns an error when the selection violates the purity conditions of
+/// §4.2.
+pub fn affine_task_in(
+    n: usize,
+    depth: usize,
+    name: &str,
+    ambient: Arc<ChromaticSubdivision>,
     mut select: impl FnMut(&Simplex, &ChromaticSubdivision) -> bool,
 ) -> Result<AffineTask, AffineError> {
     let (s, g) = standard_simplex(n);
-    let ambient = chr_iter(&s, &g, depth);
     let selected = Complex::from_facets(
         ambient
             .complex
@@ -120,6 +162,23 @@ pub fn full_subdivision_task(n: usize, depth: usize) -> AffineTask {
         .expect("the full subdivision is a valid affine task")
 }
 
+/// [`full_subdivision_task`] over a shared pre-built `Chr^depth s` (see
+/// [`affine_task_in`] for the ambient contract).
+pub fn full_subdivision_task_in(
+    n: usize,
+    depth: usize,
+    ambient: Arc<ChromaticSubdivision>,
+) -> AffineTask {
+    affine_task_in(
+        n,
+        depth,
+        &format!("Chr^{depth}(s), n={n}"),
+        ambient,
+        |_, _| true,
+    )
+    .expect("the full subdivision is a valid affine task")
+}
+
 /// The total order task `L_ord` (§4.2): for each permutation `α` of the
 /// processes, the unique facet of `Chr² s` whose vertex colored `α(i)`
 /// lies in the interior of an `i`-dimensional face of `s`. Equivalently
@@ -128,7 +187,14 @@ pub fn full_subdivision_task(n: usize, depth: usize) -> AffineTask {
 /// one per arrival order; uniqueness per permutation is checked in the
 /// tests.
 pub fn total_order_task(n: usize) -> AffineTask {
-    affine_task(n, 2, &format!("L_ord(n={n})"), |facet, ambient| {
+    let (s, g) = standard_simplex(n);
+    total_order_task_in(n, Arc::new(chr_iter(&s, &g, 2)))
+}
+
+/// [`total_order_task`] over a shared pre-built `Chr² s` (see
+/// [`affine_task_in`] for the ambient contract).
+pub fn total_order_task_in(n: usize, ambient: Arc<ChromaticSubdivision>) -> AffineTask {
+    affine_task_in(n, 2, &format!("L_ord(n={n})"), ambient, |facet, ambient| {
         let mut cards: Vec<usize> = facet
             .iter()
             .map(|v| ambient.vertex_carrier[&v].card())
@@ -147,9 +213,20 @@ pub fn total_order_task(n: usize) -> AffineTask {
 ///
 /// Panics if `t ≥ n + 1` (the excluded skeleton must exist).
 pub fn lt_task(n: usize, t: usize) -> AffineTask {
+    let (s, g) = standard_simplex(n);
+    lt_task_in(n, t, Arc::new(chr_iter(&s, &g, 2)))
+}
+
+/// [`lt_task`] over a shared pre-built `Chr² s` (see [`affine_task_in`]
+/// for the ambient contract).
+///
+/// # Panics
+///
+/// Panics if `t ≥ n + 1` (the excluded skeleton must exist).
+pub fn lt_task_in(n: usize, t: usize, ambient: Arc<ChromaticSubdivision>) -> AffineTask {
     assert!(t < n + 1, "t must be at most n");
     let min_card = n - t + 1; // carriers must have dimension > n−t−1
-    affine_task(n, 2, &format!("L_{t}(n={n})"), |facet, ambient| {
+    affine_task_in(n, 2, &format!("L_{t}(n={n})"), ambient, |facet, ambient| {
         facet
             .iter()
             .all(|v| ambient.vertex_carrier[&v].card() >= min_card)

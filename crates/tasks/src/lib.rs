@@ -22,12 +22,17 @@
 //! assert_eq!(t.selected.count_of_dim(2), 6);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod affine;
 pub mod classic;
 pub mod commit_adopt;
 pub mod task;
 
-pub use affine::{affine_task, full_subdivision_task, lt_task, total_order_task, AffineTask};
+pub use affine::{
+    affine_task, affine_task_in, full_subdivision_task, full_subdivision_task_in, lt_task,
+    lt_task_in, total_order_task, total_order_task_in, AffineTask,
+};
 pub use classic::{consensus_task, pseudosphere, set_agreement_task};
 pub use commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
 pub use task::{OutputViolation, Task, TaskError};

@@ -70,6 +70,22 @@ impl fmt::Display for OutputViolation {
 }
 
 /// A task `T = (I, O, Δ)` on `n + 1` processes.
+///
+/// # Examples
+///
+/// Construct a classic task, validate it, and inspect its carrier map:
+///
+/// ```
+/// use gact_tasks::classic::{assignment_facet, consensus_task};
+///
+/// // Binary consensus for two processes.
+/// let task = consensus_task(1, &[0, 1]);
+/// task.validate().unwrap();
+///
+/// // With mixed inputs, Δ allows exactly the two all-agree outputs.
+/// let omega = assignment_facet(1, 2, &[0, 1]);
+/// assert_eq!(task.allowed(&omega).count_of_dim(1), 2);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Task {
     /// Human-readable task name.

@@ -30,6 +30,8 @@
 //! assert!(!is_k_connected(&circle, 1).holds());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod arena;
 pub mod complex;
 pub mod connectivity;
