@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gact::{act_solve, connectivity_obstruction, solve, MapProblem};
 use gact_chromatic::chr_iter;
-use gact_tasks::affine::full_subdivision_task;
+use gact_tasks::affine::{full_subdivision_task, lt_task};
 use gact_tasks::classic::consensus_task;
 
 fn bench_solver(c: &mut Criterion) {
@@ -43,6 +43,16 @@ fn bench_solver(c: &mut Criterion) {
             });
         });
     }
+
+    // The incremental rounds engine on a multi-depth refutation: one
+    // `chr_step` chain and one `CompiledTask` across depths 0..=2, each
+    // refuted by propagation (L_1's corner images are empty wait-free).
+    group.bench_function("rounds_unsat_sweep", |b| {
+        let at = lt_task(2, 1);
+        b.iter(|| {
+            assert!(!act_solve(&at.task, 2).is_solvable());
+        });
+    });
 
     // Negative by obstruction: the depth-independent certificate.
     group.bench_function("consensus_obstruction_n2", |b| {

@@ -47,13 +47,23 @@ fn row(name: &str, paper: &str, measured: &str) {
 /// the committed trajectory would corrupt every cross-PR comparison);
 /// `--force` overrides.
 fn run_json_benches(path: &str, force: bool) {
-    use gact::{solve, MapProblem, SolveOutcome};
-    use gact_bench::{count_bench_ids, measure, to_json, BenchRecord};
+    use gact::{solve, MapProblem, SolveOutcome, SolveStats};
+    use gact_bench::{count_bench_ids, measure, to_json, BenchRecord, SolverEffort};
 
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut push = |r: BenchRecord| {
         println!("  {:<44} median {}", r.id, r.pretty_median());
         records.push(r);
+    };
+    // The solver benches attach their search effort so nodes/backtracks/
+    // prunes regressions show up in the JSON trajectory alongside the
+    // wall times. The counter-gathering runs are pinned to one thread
+    // (the parallel subtree split's counters vary with cancellation
+    // timing), so the recorded counters are deterministic on any machine.
+    let effort = |s: SolveStats| SolverEffort {
+        assignments: s.assignments,
+        backtracks: s.backtracks,
+        prunes: s.prunes,
     };
 
     println!("timing chr_growth …");
@@ -73,27 +83,49 @@ fn run_json_benches(path: &str, force: bool) {
     println!("timing act_solver …");
     for (n, depth) in [(1usize, 1usize), (1, 2), (2, 1)] {
         let at = full_subdivision_task(n, depth);
-        push(measure(
-            format!("act_solver/solvable/n{n}_k{depth}"),
-            10,
-            || assert!(act_solve(&at.task, depth).is_solvable()),
-        ));
+        let stats = gact_parallel::with_threads(1, || match act_solve(&at.task, depth) {
+            ActVerdict::Solvable { stats, .. } => stats,
+            v => panic!("control task must be solvable, got {v:?}"),
+        });
+        push(
+            measure(format!("act_solver/solvable/n{n}_k{depth}"), 10, || {
+                assert!(act_solve(&at.task, depth).is_solvable())
+            })
+            .with_solver(effort(stats)),
+        );
     }
     for k in 0..=2usize {
         let task = consensus_task(1, &[0, 1]);
         let sd = chr_iter(&task.input, &task.input_geometry, k);
-        push(measure(
-            format!("act_solver/consensus_unsat/{k}"),
-            10,
-            || {
+        let problem = MapProblem {
+            domain: &sd.complex,
+            vertex_carrier: &sd.vertex_carrier,
+            task: &task,
+        };
+        let stats = gact_parallel::with_threads(1, || solve(&problem, None).stats());
+        push(
+            measure(format!("act_solver/consensus_unsat/{k}"), 10, || {
                 let problem = MapProblem {
                     domain: &sd.complex,
                     vertex_carrier: &sd.vertex_carrier,
                     task: &task,
                 };
                 assert!(!matches!(solve(&problem, None), SolveOutcome::Map(..)));
-            },
-        ));
+            })
+            .with_solver(effort(stats)),
+        );
+    }
+    {
+        // The incremental rounds engine on a multi-depth refutation: L_1
+        // is not wait-free solvable at any depth (Δ(corner) = ∅ empties a
+        // domain), so `act_solve(…, 2)` walks one `chr_step` chain across
+        // depths 0..=2 with one shared `CompiledTask`, each depth refuted
+        // by propagation without search.
+        let at = lt_task(2, 1);
+        assert!(matches!(act_solve(&at.task, 2), ActVerdict::NoMapUpTo(2)));
+        push(measure("act_solver/rounds_unsat_sweep", 10, || {
+            assert!(!act_solve(&at.task, 2).is_solvable());
+        }));
     }
     {
         let task = consensus_task(2, &[0, 1]);
@@ -145,9 +177,16 @@ fn run_json_benches(path: &str, force: bool) {
     }
 
     println!("timing lt_pipeline …");
-    push(measure("lt_pipeline/build_showcase_2_stages", 3, || {
-        build_lt_showcase(2, 1, 2).expect("witness")
-    }));
+    {
+        let stats =
+            gact_parallel::with_threads(1, || build_lt_showcase(2, 1, 2).expect("witness").stats);
+        push(
+            measure("lt_pipeline/build_showcase_2_stages", 3, || {
+                build_lt_showcase(2, 1, 2).expect("witness")
+            })
+            .with_solver(effort(stats)),
+        );
+    }
     {
         let show = build_lt_showcase(2, 1, 2).expect("witness");
         let mut sampler = RunSampler::new(

@@ -17,6 +17,21 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Search-effort counters attached to solver benchmarks (the solver's
+/// `SolveStats`, re-declared here so the bench plumbing stays
+/// dependency-free): deterministic at one thread, so a regression in
+/// nodes/backtracks/prunes is visible in the JSON trajectory even when
+/// wall times are noisy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverEffort {
+    /// Vertex assignments attempted (search nodes).
+    pub assignments: u64,
+    /// Backtracks.
+    pub backtracks: u64,
+    /// Candidate values removed by the propagation layer.
+    pub prunes: u64,
+}
+
 /// One timed benchmark: median/min/mean nanoseconds per iteration.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
@@ -30,6 +45,17 @@ pub struct BenchRecord {
     pub mean_ns: f64,
     /// Number of timed samples.
     pub samples: usize,
+    /// Solver search-effort counters, for solver workloads.
+    pub solver: Option<SolverEffort>,
+}
+
+impl BenchRecord {
+    /// Attaches solver search-effort counters to this record (builder
+    /// style, used by the `experiments --json` solver benches).
+    pub fn with_solver(mut self, effort: SolverEffort) -> Self {
+        self.solver = Some(effort);
+        self
+    }
 }
 
 impl BenchRecord {
@@ -83,6 +109,7 @@ pub fn measure<O>(
         min_ns: per_iter[0],
         mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
         samples: per_iter.len(),
+        solver: None,
     }
 }
 
@@ -113,10 +140,19 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"benches\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
+        let solver = r
+            .solver
+            .map(|s| {
+                format!(
+                    ", \"solver\": {{\"assignments\": {}, \"backtracks\": {}, \"prunes\": {}}}",
+                    s.assignments, s.backtracks, s.prunes
+                )
+            })
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}",
-            json_escape(&r.id), r.median_ns, r.min_ns, r.mean_ns, r.samples, comma
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}{}}}{}",
+            json_escape(&r.id), r.median_ns, r.min_ns, r.mean_ns, r.samples, solver, comma
         );
     }
     let _ = writeln!(out, "  ]");
@@ -158,5 +194,21 @@ mod tests {
         // Exactly one comma between the two entries, none after the last.
         assert_eq!(json.matches("},\n").count(), 1);
         assert!(!json.contains("}\n  ]\n},"));
+    }
+
+    #[test]
+    fn solver_effort_serializes_when_attached() {
+        let with = measure("s/with", 2, || 0).with_solver(SolverEffort {
+            assignments: 3,
+            backtracks: 1,
+            prunes: 42,
+        });
+        let without = measure("s/without", 2, || 0);
+        let json = to_json(&[with, without]);
+        assert!(
+            json.contains("\"solver\": {\"assignments\": 3, \"backtracks\": 1, \"prunes\": 42}")
+        );
+        // Only the record that carries counters gets the key.
+        assert_eq!(json.matches("\"solver\"").count(), 1);
     }
 }

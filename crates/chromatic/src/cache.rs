@@ -12,13 +12,27 @@
 //!   the shared [`Arc`] back;
 //! * **across rounds** — a miss at round `m` does *not* start from
 //!   scratch: the deepest cached `Chr^j` (`j < m`) of the same base is
-//!   extended stepwise with [`chr_step`], and each intermediate stage is
-//!   cached too. Because [`crate::chr::chr_iter`] itself is `m`
-//!   applications of `chr_step` from [`chr_identity`], the extension is
-//!   structurally
-//!   identical to a cold construction — same vertex ids, same facet
-//!   tables, bit-identical coordinates (pinned by the cache regression
-//!   tests).
+//!   extended stepwise with [`crate::chr::chr_step`], and each intermediate stage is
+//!   cached too; the per-stage [`StageLineage`] (the carrier of every
+//!   new vertex in the stage that was subdivided) is derived on demand
+//!   from a cached stage's key index — see
+//!   [`SubdivisionCache::stage_lineage`]. Because
+//!   [`crate::chr::chr_iter`] itself is `m` applications of `chr_step`
+//!   from [`chr_identity`], the extension is structurally identical to a
+//!   cold construction — same vertex ids, same facet tables, bit-identical
+//!   coordinates (pinned by the cache regression tests).
+//!
+//! ## Bounded memory
+//!
+//! A long sweep over many base complexes would otherwise grow the entry
+//! map without limit, so the cache is capacity-bounded with
+//! least-recently-used eviction: construct with
+//! [`SubdivisionCache::with_capacity`], or set the `GACT_CACHE_CAP`
+//! environment variable (entries per cache; unset means unbounded).
+//! Eviction only ever discards *shared, reconstructible* state — a later
+//! query for an evicted stage rebuilds it (structurally identically) from
+//! the deepest surviving stage — and is surfaced by the `evictions`
+//! counter of [`CacheStats`].
 //!
 //! Base complexes are identified by a structural digest
 //! ([`complex_cache_key`]) of facets, colors, and coordinate bits — two
@@ -28,11 +42,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gact_topology::Geometry;
 
-use crate::chr::{chr_identity, chr_step, ChromaticSubdivision};
+use crate::chr::{chr_identity, chr_step, ChromaticSubdivision, StageLineage};
 use crate::complex::ChromaticComplex;
 
 /// Structural identity of a base (protocol) complex, as used by
@@ -89,14 +103,17 @@ pub fn complex_cache_key(c: &ChromaticComplex, g: &Geometry) -> ComplexKey {
     ComplexKey(a.0, b.0)
 }
 
-/// Hit/miss counters of a [`SubdivisionCache`] (and of the solver-side
-/// caches layered on top of it).
+/// Hit/miss/eviction counters of a [`SubdivisionCache`] (and of the
+/// solver-side caches layered on top of it).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache.
     pub hits: u64,
     /// Queries that had to build (or extend to) a new entry.
     pub misses: u64,
+    /// Entries discarded by the capacity bound (least-recently-used
+    /// first); zero for unbounded caches.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -111,8 +128,35 @@ impl CacheStats {
     }
 }
 
-/// A shared cache of iterated chromatic subdivisions, keyed by
-/// `(base-complex digest, round count)`.
+/// The process-wide default cache capacity: `GACT_CACHE_CAP` if set to a
+/// positive integer, otherwise unbounded. Read once.
+pub fn env_cache_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("GACT_CACHE_CAP")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(usize::MAX)
+    })
+}
+
+/// A cached subdivision stage with its recency stamp.
+///
+/// The eviction machinery here intentionally parallels `gact-core`'s
+/// `LruLayer` rather than sharing it: that layer is a pure
+/// get-or-build map, while this cache's lookups also scan for the
+/// deepest stage *below* the requested round and insert every
+/// intermediate stage of an extension chain — access patterns a shared
+/// abstraction would have to grow special cases for.
+#[derive(Debug)]
+struct Entry {
+    value: Arc<ChromaticSubdivision>,
+    stamp: u64,
+}
+
+/// A shared, capacity-bounded cache of iterated chromatic subdivisions,
+/// keyed by `(base-complex digest, round count)`.
 ///
 /// Thread-safe: lookups take a mutex only long enough to probe or insert;
 /// subdivision construction happens outside the lock, so concurrent
@@ -131,29 +175,66 @@ impl CacheStats {
 /// assert!(std::sync::Arc::ptr_eq(&sd2, &again));
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SubdivisionCache {
-    entries: Mutex<HashMap<(ComplexKey, usize), Arc<ChromaticSubdivision>>>,
+    entries: Mutex<HashMap<(ComplexKey, usize), Entry>>,
     /// Per-base in-flight build guards (single-flight): concurrent cold
     /// misses on the same base complex serialize here and re-probe, so a
     /// stampede of workers extends the `Chr^m` chain once instead of each
     /// rebuilding it. Builds for different bases stay concurrent.
     flights: Mutex<HashMap<ComplexKey, Arc<Mutex<()>>>>,
+    /// Maximum number of cached stages before LRU eviction kicks in.
+    capacity: usize,
+    /// Monotone recency clock (bumped on every probe hit and insert).
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SubdivisionCache {
+    fn default() -> Self {
+        SubdivisionCache::with_capacity(env_cache_capacity())
+    }
 }
 
 impl SubdivisionCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the process-default capacity
+    /// ([`env_cache_capacity`]).
     pub fn new() -> Self {
         SubdivisionCache::default()
     }
 
+    /// Creates an empty cache holding at most `capacity` stages, evicting
+    /// least-recently-used entries beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        SubdivisionCache {
+            entries: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity (entries; `usize::MAX` means unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// `Chr^m` of `(c, g)`, shared: returns the cached subdivision when the
     /// key is present, otherwise extends the deepest cached stage of the
-    /// same base (or `Chr^0`) with [`chr_step`], caching every intermediate
-    /// stage along the way. The result is structurally identical to
-    /// [`crate::chr::chr_iter`]`(c, g, m)` for every `m`.
+    /// same base (or `Chr^0`) with [`chr_step`],
+    /// caching every intermediate stage along the way. The result is
+    /// structurally identical to [`crate::chr::chr_iter`]`(c, g, m)` for
+    /// every `m`.
     pub fn chr_iter(
         &self,
         c: &ChromaticComplex,
@@ -194,18 +275,21 @@ impl SubdivisionCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut best: Option<(usize, Arc<ChromaticSubdivision>)> = None;
         {
-            let entries = self
+            let mut entries = self
                 .entries
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(hit) = entries.get(&(key, m)) {
+            let stamp = self.tick();
+            if let Some(entry) = entries.get_mut(&(key, m)) {
+                entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return hit.clone();
+                return entry.value.clone();
             }
             // Deepest cached stage strictly below m, to extend from.
             for j in (0..m).rev() {
-                if let Some(prev) = entries.get(&(key, j)) {
-                    best = Some((j, prev.clone()));
+                if let Some(entry) = entries.get_mut(&(key, j)) {
+                    entry.stamp = stamp;
+                    best = Some((j, entry.value.clone()));
                     break;
                 }
             }
@@ -219,36 +303,83 @@ impl SubdivisionCache {
             }
         };
         while stage < m {
-            let next = Arc::new(chr_step(&current));
+            let next = chr_step(&current);
             stage += 1;
-            current = self.insert((key, stage), next);
+            current = self.insert((key, stage), Arc::new(next));
         }
         current
     }
 
-    /// Lock-scoped exact-stage lookup (no counters).
+    /// The carrier lineage of stage `m` relative to stage `m − 1`: for
+    /// every vertex of `Chr^m`, its carrier in the `Chr^{m−1}` complex
+    /// that was subdivided (persisted vertices carry their own
+    /// singleton). Derived on demand from the cached stage's `key_index`
+    /// — a subdivision vertex keyed `(p, seen)` sits in the interior of
+    /// `seen`, exactly what [`crate::chr::chr_step_with_lineage`] would have
+    /// returned — so nothing extra is stored per stage. `None` for
+    /// `m = 0` (nothing was subdivided) or for stages not currently
+    /// cached (evicted or never built).
+    pub fn stage_lineage(&self, key: ComplexKey, m: usize) -> Option<Arc<StageLineage>> {
+        if m == 0 {
+            return None;
+        }
+        let sd = self.probe(key, m)?;
+        Some(Arc::new(
+            sd.key_index
+                .iter()
+                .map(|((_, seen), &v)| (v, seen.clone()))
+                .collect(),
+        ))
+    }
+
+    /// Next recency stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Lock-scoped exact-stage lookup (no counters; refreshes recency).
     fn probe(&self, key: ComplexKey, m: usize) -> Option<Arc<ChromaticSubdivision>> {
-        self.entries
+        let mut entries = self
+            .entries
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&(key, m))
-            .cloned()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stamp = self.tick();
+        entries.get_mut(&(key, m)).map(|e| {
+            e.stamp = stamp;
+            e.value.clone()
+        })
     }
 
     /// Inserts unless a racing builder got there first; returns the entry
     /// that ends up cached (first insert wins, so every caller shares one
-    /// allocation per key).
+    /// allocation per key). Evicts least-recently-used entries beyond the
+    /// capacity bound.
     fn insert(
         &self,
         key: (ComplexKey, usize),
         value: Arc<ChromaticSubdivision>,
     ) -> Arc<ChromaticSubdivision> {
-        self.entries
+        let mut entries = self
+            .entries
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stamp = self.tick();
+        let shared = entries
             .entry(key)
-            .or_insert(value)
-            .clone()
+            .or_insert(Entry { value, stamp })
+            .value
+            .clone();
+        while entries.len() > self.capacity {
+            let victim = entries
+                .iter()
+                .filter(|(&k, _)| k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k);
+            let Some(victim) = victim else { break };
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shared
     }
 
     /// Number of cached `(complex, round)` entries.
@@ -264,11 +395,12 @@ impl SubdivisionCache {
         self.len() == 0
     }
 
-    /// Hit/miss counters accumulated so far.
+    /// Hit/miss/eviction counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -306,15 +438,60 @@ mod tests {
         let (s, g) = standard_simplex(2);
         let cache = SubdivisionCache::new();
         let _ = cache.chr_iter(&s, &g, 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cache.stats().misses, 1);
         // Extending to m=2 reuses the cached Chr^1 (one miss, no rebuild of
         // stage 1), and re-asking for m∈{1,2} is pure hits.
         let _ = cache.chr_iter(&s, &g, 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
         let _ = cache.chr_iter(&s, &g, 1);
         let _ = cache.chr_iter(&s, &g, 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 0));
         // Entries: Chr^0, Chr^1, Chr^2.
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn stage_lineage_composes_to_base_carriers() {
+        // The lineage of stage m (carriers in Chr^{m−1}) composed with
+        // stage m−1's base carriers must reproduce stage m's base
+        // carriers — the identity the incremental consumers rely on.
+        let (s, g) = standard_simplex(2);
+        let cache = SubdivisionCache::new();
+        let key = complex_cache_key(&s, &g);
+        let sd1 = cache.chr_iter(&s, &g, 1);
+        let sd2 = cache.chr_iter(&s, &g, 2);
+        let lineage = cache.stage_lineage(key, 2).expect("stage 2 lineage");
+        assert!(cache.stage_lineage(key, 0).is_none());
+        for (v, mid) in lineage.iter() {
+            let composed = {
+                let mut it = mid.iter();
+                let mut acc = sd1.vertex_carrier[&it.next().unwrap()].clone();
+                for w in it {
+                    acc = acc.union(&sd1.vertex_carrier[&w]);
+                }
+                acc
+            };
+            assert_eq!(composed, sd2.vertex_carrier[v], "vertex {v:?}");
+        }
+        // Persisted vertices (all of Chr^1's) have singleton lineage.
+        for v in sd1.complex.complex().vertex_set() {
+            assert_eq!(lineage[&v], gact_topology::Simplex::vertex(v));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let (s, g) = standard_simplex(1);
+        let cache = SubdivisionCache::with_capacity(2);
+        let _ = cache.chr_iter(&s, &g, 2); // builds Chr^0, Chr^1, Chr^2
+        assert!(cache.len() <= 2, "capacity bound enforced");
+        assert!(cache.stats().evictions >= 1);
+        // Evicted stages rebuild structurally identically.
+        let direct = chr_iter(&s, &g, 1);
+        let again = cache.chr_iter(&s, &g, 1);
+        assert_eq!(again.complex.complex(), direct.complex.complex());
+        assert_eq!(again.vertex_carrier, direct.vertex_carrier);
     }
 }

@@ -445,6 +445,26 @@ pub fn chr_step(prev: &ChromaticSubdivision) -> ChromaticSubdivision {
     compose_carriers_into(&prev.vertex_carrier, next)
 }
 
+/// The per-stage carrier lineage of one subdivision step: for every
+/// vertex of `Chr^{m+1}`, its carrier **in `Chr^m`** (the stage that was
+/// subdivided), before composition back to the base. Persisted vertices
+/// (every vertex of `Chr^m` survives into `Chr^{m+1}` with the same id)
+/// carry their own singleton.
+pub type StageLineage = HashMap<VertexId, Simplex>;
+
+/// [`chr_step`] that also returns the [`StageLineage`] — the carrier of
+/// each new-stage vertex in the *previous* stage, which composition back
+/// to the base otherwise discards. Incremental consumers (the
+/// [`crate::cache::SubdivisionCache`] rounds-extension, the solver's
+/// incremental sweep) use the lineage to tell persisted vertices
+/// (singleton lineage, identical ids and base carriers across stages)
+/// from genuinely new ones.
+pub fn chr_step_with_lineage(prev: &ChromaticSubdivision) -> (ChromaticSubdivision, StageLineage) {
+    let next = chr(&prev.complex, &prev.geometry);
+    let lineage = next.vertex_carrier.clone();
+    (compose_carriers_into(&prev.vertex_carrier, next), lineage)
+}
+
 /// Iterated standard chromatic subdivision `Chr^m`, composing carriers back
 /// to the base complex.
 pub fn chr_iter(c: &ChromaticComplex, g: &Geometry, m: usize) -> ChromaticSubdivision {
@@ -623,6 +643,34 @@ mod tests {
         let m1 = sd1.geometry.mesh(sd1.complex.complex());
         let m2 = sd2.geometry.mesh(sd2.complex.complex());
         assert!(m1 < m0 && m2 < m1);
+    }
+
+    #[test]
+    fn chr_step_lineage_matches_key_index() {
+        // The lineage of a step — each new vertex's carrier in the stage
+        // that was subdivided — is exactly the `seen` half of its key
+        // (the cache's on-demand derivation relies on this).
+        let (s, g) = standard_simplex(2);
+        let stage1 = chr_iter(&s, &g, 1);
+        let (stage2, lineage) = chr_step_with_lineage(&stage1);
+        assert_eq!(lineage.len(), stage2.complex.complex().vertex_set().len());
+        for ((_, seen), v) in &stage2.key_index {
+            assert_eq!(&lineage[v], seen, "vertex {v:?}");
+        }
+        // Persisted vertices (all of stage 1) carry their own singleton.
+        for v in stage1.complex.complex().vertex_set() {
+            assert_eq!(lineage[&v], Simplex::vertex(v));
+        }
+        // Composing the lineage with stage 1's base carriers reproduces
+        // stage 2's base carriers.
+        for (v, mid) in &lineage {
+            let mut it = mid.iter();
+            let mut acc = stage1.vertex_carrier[&it.next().unwrap()].clone();
+            for w in it {
+                acc = acc.union(&stage1.vertex_carrier[&w]);
+            }
+            assert_eq!(acc, stage2.vertex_carrier[v], "vertex {v:?}");
+        }
     }
 
     #[test]

@@ -15,12 +15,12 @@
 
 use std::sync::Arc;
 
-use gact_chromatic::{chr_iter, ChromaticSubdivision, SimplicialMap};
-use gact_tasks::Task;
+use gact_chromatic::{chr_identity, chr_step, ChromaticSubdivision, SimplicialMap};
+use gact_tasks::{CompiledTask, Task};
 use gact_topology::{Simplex, VertexId};
 
 use crate::cache::QueryCache;
-use crate::solver::{solve, solve_prepared, MapProblem, SolveStats};
+use crate::solver::{prepare_domain, solve_compiled_with, DomainTables, SolveOutcome, SolveStats};
 
 /// Verdict of the bounded ACT search.
 #[derive(Debug)]
@@ -155,46 +155,75 @@ pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
 /// ));
 /// ```
 pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
-    if let Some(obstruction) = connectivity_obstruction(task) {
-        return ActVerdict::ImpossibleByObstruction(obstruction);
-    }
-    for depth in 0..=max_depth {
-        let sd = chr_iter(&task.input, &task.input_geometry, depth);
-        let problem = MapProblem {
-            domain: &sd.complex,
-            vertex_carrier: &sd.vertex_carrier,
-            task,
-        };
-        if let crate::solver::SolveOutcome::Map(map, stats) = solve(&problem, None) {
-            return ActVerdict::Solvable {
-                depth,
-                map,
-                subdivision: Arc::new(sd),
-                stats,
-            };
-        }
-    }
-    ActVerdict::NoMapUpTo(max_depth)
+    act_engine(task, max_depth, None)
 }
 
-/// [`act_solve`] through a [`QueryCache`]: each depth's `Chr^depth I` and
-/// its task-independent [`crate::solver::DomainTables`] come from (and
-/// populate) the shared cache, so a sweep over tasks on the same input
-/// complex, or over depth bounds, builds every subdivision stage at most
-/// once. The verdict — including the found map and its depth — is
-/// byte-identical to [`act_solve`]'s for every input and thread count
-/// (pinned by the cache regression tests).
+/// [`act_solve`] through a [`QueryCache`]: each depth's `Chr^depth I`,
+/// its task-independent [`crate::solver::DomainTables`] *and* its
+/// [`crate::solver::PropagationPlan`] come from (and populate) the shared
+/// cache, so a sweep over tasks on the same input complex, or over depth
+/// bounds, builds every subdivision stage at most once. The verdict —
+/// including the found map and its depth — is byte-identical to
+/// [`act_solve`]'s for every input and thread count (pinned by the cache
+/// regression tests).
 pub fn act_solve_with_cache(task: &Task, max_depth: usize, cache: &QueryCache) -> ActVerdict {
+    act_engine(task, max_depth, Some(cache))
+}
+
+/// The incremental rounds engine behind both entry points.
+///
+/// One [`CompiledTask`] spans every depth, so the interned `Δ`-image
+/// tables and the class-level dead values the propagate layer learns at
+/// round `m` transfer to round `m + 1` (constraint classes are keyed by
+/// base-complex carriers, which recur at every round). The subdivision
+/// chain is extended stage by stage — [`chr_step`] from the previous
+/// round's `Chr^m` (or the shared cache, which extends the same way) —
+/// instead of rebuilding `Chr^m` from scratch per depth, which turns the
+/// depth loop's total subdivision work from quadratic in the chain into
+/// the chain itself.
+fn act_engine(task: &Task, max_depth: usize, cache: Option<&QueryCache>) -> ActVerdict {
     if let Some(obstruction) = connectivity_obstruction(task) {
         return ActVerdict::ImpossibleByObstruction(obstruction);
     }
-    let key = cache.key_of(&task.input, &task.input_geometry);
+    let compiled = CompiledTask::new(task);
+    let key = cache.map(|c| c.key_of(&task.input, &task.input_geometry));
+    // The local incremental chain of the uncached path (the cached path
+    // keeps its chain inside the QueryCache).
+    let mut chain: Option<Arc<ChromaticSubdivision>> = None;
     for depth in 0..=max_depth {
-        let sd = cache.subdivision_keyed(key, &task.input, &task.input_geometry, depth);
-        let tables = cache.domain_tables(key, depth, &sd);
-        if let crate::solver::SolveOutcome::Map(map, stats) =
-            solve_prepared(&tables, &sd.complex, task, None)
-        {
+        let sd: Arc<ChromaticSubdivision> = match cache {
+            Some(c) => c.subdivision_keyed(
+                key.expect("key computed"),
+                &task.input,
+                &task.input_geometry,
+                depth,
+            ),
+            None => {
+                let next = match chain.take() {
+                    None => Arc::new(chr_identity(&task.input, &task.input_geometry)),
+                    Some(prev) => Arc::new(chr_step(&prev)),
+                };
+                chain = Some(next.clone());
+                next
+            }
+        };
+        let tables: Arc<DomainTables> = match cache {
+            Some(c) => c.domain_tables(key.expect("key computed"), depth, &sd),
+            None => Arc::new(prepare_domain(&sd.complex, &sd.vertex_carrier)),
+        };
+        // The propagation plan is supplied *lazily*: the engine only asks
+        // for it when the instance is large enough to propagate and no
+        // initial domain is empty, so short-circuited depths (empty solo
+        // images, tiny rounds) never build — or cache — a plan at all.
+        let outcome = match cache {
+            Some(c) => {
+                let key = key.expect("key computed");
+                let source = || c.propagation_plan(key, depth, &tables, &sd);
+                solve_compiled_with(&tables, &sd.complex, &compiled, None, Some(&source))
+            }
+            None => solve_compiled_with(&tables, &sd.complex, &compiled, None, None),
+        };
+        if let SolveOutcome::Map(map, stats) = outcome {
             return ActVerdict::Solvable {
                 depth,
                 map,

@@ -1,6 +1,6 @@
 //! Cross-query cache handle for solver entry points: shared `Chr^m`
-//! subdivisions plus the task-independent interned-carrier/domain tables
-//! layered on top of them.
+//! subdivisions plus the task-independent solver state layered on top of
+//! them — interned-carrier domain tables *and* propagation plans.
 //!
 //! A solvability sweep — many `(task, model, parameter)` cells — keeps
 //! re-deciding map existence over the *same* iterated subdivisions: every
@@ -14,8 +14,19 @@
 //!   stages instead of rebuilding (see [`gact_chromatic::cache`]);
 //! * the [`DomainTables`] half caches, under the same key, the solver's
 //!   task-independent setup — dense renumbering, interned carrier table,
-//!   constraint lists — so a query against a cached domain only builds
-//!   its per-task `Δ`-image table and searches.
+//!   constraint lists — so a query against a cached domain only compiles
+//!   its per-task `Δ` tables, propagates, and searches;
+//! * the [`PropagationPlan`] half caches, still under the same key, the
+//!   propagate layer's constraint-class schedule (see
+//!   [`crate::solver::propagate`]), so the class grouping of a domain is
+//!   computed once per `(complex, round)` for the whole sweep.
+//!
+//! All three layers are capacity-bounded with least-recently-used
+//! eviction — construct with [`QueryCache::with_capacity`] or set
+//! `GACT_CACHE_CAP` (entries per layer; unset means unbounded) — and
+//! surface hit/miss/eviction counters ([`QueryCache::table_stats`],
+//! [`QueryCache::plan_stats`], [`SubdivisionCache::stats`]) that the
+//! `scenarios --json` report exports.
 //!
 //! [`crate::act::act_solve_with_cache`] is the cache-aware solvability
 //! entry point; results are byte-identical to the cold
@@ -28,13 +39,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gact_chromatic::{
-    complex_cache_key, CacheStats, ChromaticComplex, ChromaticSubdivision, ComplexKey,
-    SubdivisionCache,
+    complex_cache_key, env_cache_capacity, CacheStats, ChromaticComplex, ChromaticSubdivision,
+    ComplexKey, SubdivisionCache,
 };
 use gact_topology::Geometry;
 
 use crate::lt::{build_lt_showcase, LtShowcase};
-use crate::solver::{prepare_domain, DomainTables};
+use crate::solver::{prepare_domain, prepare_plan, DomainTables, PropagationPlan};
 
 /// Per-key in-flight build guards (single-flight): concurrent cold misses
 /// on the same key serialize on one per-key mutex and re-probe after
@@ -50,11 +61,6 @@ impl<K> Default for Flights<K> {
     }
 }
 
-/// Memo key of a Proposition 9.2 witness: `(n, t, extra_stages)`.
-type ShowcaseKey = (usize, usize, usize);
-/// Memoized witness (or its deterministic construction error).
-type ShowcaseResult = Result<Arc<LtShowcase>, String>;
-
 impl<K: Eq + Hash + Clone> Flights<K> {
     fn guard(&self, key: &K) -> Arc<Mutex<()>> {
         self.0
@@ -65,6 +71,99 @@ impl<K: Eq + Hash + Clone> Flights<K> {
             .clone()
     }
 }
+
+/// A capacity-bounded, recency-evicting map layer with hit/miss/eviction
+/// counters — the shape every solver-side cache half shares.
+#[derive(Debug)]
+struct LruLayer<K, V> {
+    entries: Mutex<HashMap<K, (V, u64)>>,
+    flights: Flights<K>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruLayer<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruLayer {
+            entries: Mutex::new(HashMap::new()),
+            flights: Flights::default(),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn probe(&self, key: &K) -> Option<V> {
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entries.get_mut(key).map(|(v, s)| {
+            *s = stamp;
+            v.clone()
+        })
+    }
+
+    /// Cached value for `key`, building with single-flight on a miss.
+    fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.probe(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Single-flight: serialize builders of this key, then re-probe —
+        // a cold stampede builds the value once instead of per worker.
+        let flight = self.flights.guard(key);
+        let _building = flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = self.probe(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = build();
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let shared = entries
+            .entry(key.clone())
+            .or_insert((built, stamp))
+            .0
+            .clone();
+        while entries.len() > self.capacity {
+            let victim = entries
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shared
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Memo key of a Proposition 9.2 witness: `(n, t, extra_stages)`.
+type ShowcaseKey = (usize, usize, usize);
+/// Memoized witness (or its deterministic construction error).
+type ShowcaseResult = Result<Arc<LtShowcase>, String>;
 
 /// A shared cache handle threaded through solvability queries in a sweep.
 ///
@@ -85,24 +184,48 @@ impl<K: Eq + Hash + Clone> Flights<K> {
 /// assert!(act_solve_with_cache(&at.task, 1, &cache).is_solvable());
 /// assert!(cache.subdivisions().stats().hits > 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryCache {
     subdivisions: SubdivisionCache,
-    tables: Mutex<HashMap<(ComplexKey, usize), Arc<DomainTables>>>,
-    table_flights: Flights<(ComplexKey, usize)>,
-    table_hits: AtomicU64,
-    table_misses: AtomicU64,
+    tables: LruLayer<(ComplexKey, usize), Arc<DomainTables>>,
+    plans: LruLayer<(ComplexKey, usize), Arc<PropagationPlan>>,
     /// Memoized Proposition 9.2 witnesses keyed by `(n, t, extra_stages)`
     /// — the single most expensive construction a sweep runs, shared by
-    /// every certificate cell that needs the same witness.
+    /// every certificate cell that needs the same witness. (Unbounded:
+    /// the witness grid the scenarios exercise is tiny.)
     showcases: Mutex<HashMap<ShowcaseKey, ShowcaseResult>>,
     showcase_flights: Flights<ShowcaseKey>,
 }
 
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::with_capacity(env_cache_capacity())
+    }
+}
+
 impl QueryCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the process-default capacity
+    /// ([`env_cache_capacity`]; unbounded unless `GACT_CACHE_CAP` is
+    /// set).
     pub fn new() -> Self {
         QueryCache::default()
+    }
+
+    /// Creates an empty cache whose subdivision, domain-table and
+    /// propagation-plan layers each hold at most `capacity` entries,
+    /// evicting least-recently-used entries beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryCache {
+            subdivisions: SubdivisionCache::with_capacity(capacity),
+            tables: LruLayer::new(capacity),
+            plans: LruLayer::new(capacity),
+            showcases: Mutex::new(HashMap::new()),
+            showcase_flights: Flights::default(),
+        }
     }
 
     /// The underlying subdivision cache (for stats or direct `Chr^m`
@@ -148,35 +271,24 @@ impl QueryCache {
         m: usize,
         sd: &ChromaticSubdivision,
     ) -> Arc<DomainTables> {
-        let probe = || {
-            self.tables
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .get(&(key, m))
-                .cloned()
-        };
-        if let Some(hit) = probe() {
-            self.table_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
-        }
-        // Single-flight: serialize builders of this key, then re-probe —
-        // a cold stampede builds the tables once instead of per worker.
-        let flight = self.table_flights.guard(&(key, m));
-        let _building = flight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(hit) = probe() {
-            self.table_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
-        }
-        self.table_misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(prepare_domain(&sd.complex, &sd.vertex_carrier));
-        self.tables
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry((key, m))
-            .or_insert(built)
-            .clone()
+        self.tables.get_or_build(&(key, m), || {
+            Arc::new(prepare_domain(&sd.complex, &sd.vertex_carrier))
+        })
+    }
+
+    /// The task-independent [`PropagationPlan`] of `Chr^m` of the keyed
+    /// base complex — the propagate layer's constraint-class schedule —
+    /// computed at most once per `(key, m)` alongside the domain tables
+    /// and shared by every task queried against that domain.
+    pub fn propagation_plan(
+        &self,
+        key: ComplexKey,
+        m: usize,
+        tables: &DomainTables,
+        sd: &ChromaticSubdivision,
+    ) -> Arc<PropagationPlan> {
+        self.plans
+            .get_or_build(&(key, m), || Arc::new(prepare_plan(tables, &sd.complex)))
     }
 
     /// The Proposition 9.2 witness for `(n, t)` with `extra_stages`
@@ -217,13 +329,15 @@ impl QueryCache {
             .clone()
     }
 
-    /// Hit/miss counters of the domain-tables half (the subdivision half
-    /// reports its own via [`SubdivisionCache::stats`]).
+    /// Hit/miss/eviction counters of the domain-tables layer (the
+    /// subdivision layer reports its own via [`SubdivisionCache::stats`]).
     pub fn table_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.table_hits.load(Ordering::Relaxed),
-            misses: self.table_misses.load(Ordering::Relaxed),
-        }
+        self.tables.stats()
+    }
+
+    /// Hit/miss/eviction counters of the propagation-plan layer.
+    pub fn plan_stats(&self) -> CacheStats {
+        self.plans.stats()
     }
 }
 
@@ -241,6 +355,45 @@ mod tests {
         let t1 = cache.domain_tables(key, 1, &sd);
         let t2 = cache.domain_tables(key, 1, &sd);
         assert!(Arc::ptr_eq(&t1, &t2));
-        assert_eq!(cache.table_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.table_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn propagation_plans_are_shared_per_key() {
+        let (s, g) = standard_simplex(1);
+        let cache = QueryCache::new();
+        let key = cache.key_of(&s, &g);
+        let sd = cache.subdivision_keyed(key, &s, &g, 1);
+        let t = cache.domain_tables(key, 1, &sd);
+        let p1 = cache.propagation_plan(key, 1, &t, &sd);
+        let p2 = cache.propagation_plan(key, 1, &t, &sd);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.plan_stats().hits, 1);
+        assert_eq!(cache.plan_stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_capacity_bounds_solver_layers() {
+        let (s, g) = standard_simplex(1);
+        let cache = QueryCache::with_capacity(1);
+        let key = cache.key_of(&s, &g);
+        for m in 0..3usize {
+            let sd = cache.subdivision_keyed(key, &s, &g, m);
+            let _ = cache.domain_tables(key, m, &sd);
+        }
+        // Three distinct (key, m) entries through a capacity-1 layer:
+        // at least two evictions, and re-asking for an evicted entry is a
+        // rebuild (miss), not corruption.
+        assert!(cache.table_stats().evictions >= 2);
+        let sd = cache.subdivision_keyed(key, &s, &g, 0);
+        let t = cache.domain_tables(key, 0, &sd);
+        assert_eq!(t.vertex_count(), 2);
     }
 }

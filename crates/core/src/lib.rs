@@ -25,6 +25,6 @@ pub use lt::{build_lt_showcase, radial_projection, LtShowcase};
 pub use protocol::{verify_protocol_on_runs, CertificateProtocol, RunVerification};
 pub use render::Scene;
 pub use solver::{
-    prepare_domain, solve, solve_prepared, validate_solution, DomainTables, MapProblem,
-    SolveOutcome, SolveStats,
+    prepare_domain, prepare_plan, solve, solve_compiled, solve_compiled_with, solve_prepared,
+    validate_solution, DomainTables, MapProblem, PropagationPlan, SolveOutcome, SolveStats,
 };

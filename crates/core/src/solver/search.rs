@@ -1,0 +1,298 @@
+//! The search layer: depth-first backtracking with one-step lookahead,
+//! adjacency-guided variable ordering, conflict-weighted constraint
+//! scheduling, and the deterministic parallel subtree split.
+//!
+//! The search explores candidates in domain order along a fixed variable
+//! order and returns the **first** complete assignment it reaches — the
+//! invariant every optimisation in this module preserves:
+//!
+//! * *conflict-weighted constraint scheduling* reorders only the
+//!   per-vertex list of constraints checked inside [`Search::consistent`]
+//!   (a conjunction — order affects speed, never the verdict);
+//! * the *parallel subtree split* explores one candidate subtree per
+//!   worker and crowns the lowest-index winner, which is exactly the
+//!   subtree the sequential DFS would have reached first;
+//! * domain *pruning* (see [`super::propagate`]) only removes values that
+//!   appear in no solution, which cannot change the first solution found.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gact_topology::{Complex, Simplex, VertexId};
+
+use super::domains::MAX_CARD;
+use super::SolveStats;
+
+pub(crate) const UNASSIGNED: VertexId = VertexId(u32::MAX);
+
+/// Dense solver state shared by the recursive search.
+pub(crate) struct Search<'a> {
+    /// Candidate output vertices per dense domain-vertex id.
+    pub domains: &'a [Vec<VertexId>],
+    /// Dense domain-vertex id per `VertexId.0` (sentinel `u32::MAX`).
+    pub dense: &'a [u32],
+    /// Constraint simplices (dim ≥ 1) with their interned carrier ids.
+    pub simplices: &'a [(Simplex, u32)],
+    /// Constraint indices touching each dense vertex id (possibly
+    /// conflict-reordered — a pure scheduling choice).
+    pub per_vertex: &'a [Vec<u32>],
+    /// `Δ` images keyed by interned carrier id (borrowed from the task).
+    pub images: &'a [&'a Complex],
+    /// Variable order (dense ids).
+    pub order: &'a [u32],
+    /// Current partial assignment (dense id → output vertex or sentinel).
+    pub assignment: Vec<VertexId>,
+    pub stats: SolveStats,
+    /// Parallel-subtree cancellation: the lowest subtree index that found a
+    /// solution so far, and this subtree's own index. A subtree stops once
+    /// a *lower-indexed* subtree has a solution — that subtree's map wins
+    /// regardless of what this one would find, so aborting cannot change
+    /// the outcome. `None` in the sequential solver.
+    pub abort: Option<(&'a AtomicUsize, usize)>,
+}
+
+impl Search<'_> {
+    /// Checks every constraint simplex touching `vi` against the current
+    /// assignment: fully assigned simplices must map into their `Δ` image;
+    /// simplices with exactly one hole must still admit some filler
+    /// (one-step lookahead).
+    pub(crate) fn consistent(&self, vi: usize) -> bool {
+        let mut image_buf = [VertexId(0); MAX_CARD];
+        for &si in &self.per_vertex[vi] {
+            let (s, carrier_id) = &self.simplices[si as usize];
+            let mut len = 0usize;
+            let mut hole: usize = usize::MAX;
+            let mut holes = 0u32;
+            for w in s.iter() {
+                let wi = self.dense[w.0 as usize] as usize;
+                let x = self.assignment[wi];
+                if x == UNASSIGNED {
+                    holes += 1;
+                    if holes > 1 {
+                        break;
+                    }
+                    hole = wi;
+                } else {
+                    image_buf[len] = x;
+                    len += 1;
+                }
+            }
+            let allowed = &self.images[*carrier_id as usize];
+            if holes == 0 {
+                let image = Simplex::new(image_buf[..len].iter().copied());
+                if !allowed.contains(&image) {
+                    return false;
+                }
+            } else if holes == 1 {
+                let feasible = self.domains[hole].iter().any(|&cand| {
+                    image_buf[len] = cand;
+                    allowed.contains(&Simplex::new(image_buf[..=len].iter().copied()))
+                });
+                if !feasible {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether this subtree has been cancelled by a lower-indexed subtree
+    /// finding a solution (see `abort`). Checked inside the candidate loop
+    /// so a cancelled subtree unwinds in O(stack depth) instead of running
+    /// a full consistency scan per remaining candidate per frame.
+    fn cancelled(&self) -> bool {
+        self.abort
+            .is_some_and(|(best, index)| best.load(Ordering::Relaxed) < index)
+    }
+
+    pub(crate) fn backtrack(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let vi = self.order[depth] as usize;
+        for ci in 0..self.domains[vi].len() {
+            if self.cancelled() {
+                return false;
+            }
+            let w = self.domains[vi][ci];
+            self.stats.assignments += 1;
+            self.assignment[vi] = w;
+            if self.consistent(vi) && self.backtrack(depth + 1) {
+                return true;
+            }
+            self.assignment[vi] = UNASSIGNED;
+            self.stats.backtracks += 1;
+        }
+        false
+    }
+}
+
+/// The adjacency-guided variable order: start from the most constrained
+/// vertex; repeatedly pick the unordered vertex with the most already-
+/// ordered neighbours (ties: smallest domain, then largest vertex id
+/// reversed). On subdivision complexes this makes every assignment
+/// immediately constrained by its simplex neighbours, keeping
+/// backtracking shallow.
+///
+/// `domain_sizes` must be the **initial** (pre-propagation) domain sizes:
+/// the order is part of the engine's reproducibility contract, so it is
+/// computed from quantities the propagation layer cannot perturb.
+pub(crate) fn variable_order(
+    domain_sizes: &[usize],
+    neighbours: &[Vec<u32>],
+    vertices: &[VertexId],
+) -> Vec<u32> {
+    let n = vertices.len();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut placed_neighbours = vec![0usize; n];
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&i| !placed[i])
+            .max_by_key(|&i| {
+                (
+                    placed_neighbours[i],
+                    std::cmp::Reverse(domain_sizes[i]),
+                    std::cmp::Reverse(vertices[i].0),
+                )
+            })
+            .expect("some vertex unplaced");
+        placed[next] = true;
+        order.push(next as u32);
+        for &w in &neighbours[next] {
+            placed_neighbours[w as usize] += 1;
+        }
+    }
+    order
+}
+
+/// Runs the search over prepared domains: sequential DFS at one thread,
+/// the deterministic subtree split otherwise. Returns the (first) found
+/// assignment and the accumulated statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_search(
+    domains: &[Vec<VertexId>],
+    dense: &[u32],
+    simplices: &[(Simplex, u32)],
+    per_vertex: &[Vec<u32>],
+    images: &[&Complex],
+    order: &[u32],
+    base_stats: SolveStats,
+) -> (Option<Vec<VertexId>>, SolveStats) {
+    let n = order.len();
+    let threads = gact_parallel::current_threads();
+    if threads <= 1 || n == 0 {
+        let mut search = Search {
+            domains,
+            dense,
+            simplices,
+            per_vertex,
+            images,
+            order,
+            assignment: vec![UNASSIGNED; n],
+            stats: base_stats,
+            abort: None,
+        };
+        let found = search.backtrack(0);
+        let stats = search.stats;
+        (found.then_some(search.assignment), stats)
+    } else {
+        parallel_search(
+            domains, dense, simplices, per_vertex, images, order, base_stats,
+        )
+    }
+}
+
+/// Parallel backtracking: propagates the forced prefix of the variable
+/// order (domains of size 1), then splits the search at the first
+/// *branching* vertex — one independent subtree per candidate, each
+/// exploring the sequential DFS order.
+///
+/// The subtree of the lowest candidate index holding a solution wins,
+/// which is exactly the solution the sequential solver returns; a shared
+/// atomic lets subtrees with a higher index stop early, which cannot
+/// affect the winner. Statistics are summed over the prefix and every
+/// subtree (so they vary with thread count, unlike the outcome).
+#[allow(clippy::too_many_arguments)]
+fn parallel_search(
+    domains: &[Vec<VertexId>],
+    dense: &[u32],
+    simplices: &[(Simplex, u32)],
+    per_vertex: &[Vec<u32>],
+    images: &[&Complex],
+    order: &[u32],
+    base_stats: SolveStats,
+) -> (Option<Vec<VertexId>>, SolveStats) {
+    let n = order.len();
+    let mut prefix = Search {
+        domains,
+        dense,
+        simplices,
+        per_vertex,
+        images,
+        order,
+        assignment: vec![UNASSIGNED; n],
+        stats: base_stats,
+        abort: None,
+    };
+    // Forced prefix: a variable with a single candidate either takes it or
+    // proves unsatisfiability (there is nothing earlier to backtrack to —
+    // every preceding variable is equally forced).
+    let mut depth = 0usize;
+    while depth < n && domains[order[depth] as usize].len() == 1 {
+        let vi = order[depth] as usize;
+        prefix.stats.assignments += 1;
+        prefix.assignment[vi] = domains[vi][0];
+        if !prefix.consistent(vi) {
+            prefix.stats.backtracks += 1;
+            return (None, prefix.stats);
+        }
+        depth += 1;
+    }
+    if depth == n {
+        return (Some(prefix.assignment), prefix.stats);
+    }
+
+    let branch_vi = order[depth] as usize;
+    let candidates = &domains[branch_vi];
+    let best = AtomicUsize::new(usize::MAX);
+    let indices: Vec<usize> = (0..candidates.len()).collect();
+    let base_assignment = prefix.assignment;
+    let subtree_results: Vec<(Option<Vec<VertexId>>, SolveStats)> = {
+        let best = &best;
+        let base_assignment = &base_assignment;
+        gact_parallel::par_map(&indices, move |&ci| {
+            let mut search = Search {
+                domains,
+                dense,
+                simplices,
+                per_vertex,
+                images,
+                order,
+                assignment: base_assignment.clone(),
+                stats: SolveStats::default(),
+                abort: Some((best, ci)),
+            };
+            search.stats.assignments += 1;
+            search.assignment[branch_vi] = candidates[ci];
+            if search.consistent(branch_vi) && search.backtrack(depth + 1) {
+                best.fetch_min(ci, Ordering::SeqCst);
+                (Some(search.assignment), search.stats)
+            } else {
+                search.stats.backtracks += 1;
+                (None, search.stats)
+            }
+        })
+    };
+    let mut stats = prefix.stats;
+    let mut winner: Option<Vec<VertexId>> = None;
+    for (assignment, subtree_stats) in subtree_results {
+        stats.assignments += subtree_stats.assignments;
+        stats.backtracks += subtree_stats.backtracks;
+        if winner.is_none() {
+            if let Some(assignment) = assignment {
+                winner = Some(assignment);
+            }
+        }
+    }
+    (winner, stats)
+}

@@ -7,6 +7,7 @@
 //! $ scenarios --family rounds-sweep --json sweep.json
 //! $ scenarios --family all --filter consensus # substring filter on cell labels
 //! $ scenarios --family all --cold             # disable cross-cell caching
+//! $ scenarios --family all --threads 4        # worker-pool size override
 //! ```
 //!
 //! The JSON report schema is documented in `gact_scenarios::report` and in
@@ -18,13 +19,17 @@ use gact_scenarios::{cells_for, families, run_matrix, run_matrix_cold, to_json};
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios [--list] [--family NAME] [--filter SUBSTR] [--json [PATH]] [--cold]\n\
+         \x20                [--threads N]\n\
          \n\
          --list           print registered families and exit\n\
          --family NAME    family to run (default: all)\n\
          --filter SUBSTR  keep only cells whose label contains SUBSTR\n\
          --json [PATH]    also write the schema-1 JSON report (default path:\n\
          \x20                scenarios_results.json)\n\
-         --cold           fresh cache per cell (the uncached baseline)"
+         --cold           fresh cache per cell (the uncached baseline)\n\
+         --threads N      run the sweep on an N-worker pool (overrides the\n\
+         \x20                GACT_THREADS environment variable; results are\n\
+         \x20                identical for every N, only wall times change)"
     );
     std::process::exit(2);
 }
@@ -35,9 +40,19 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut cold = false;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|a| a.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--list" => {
                 println!("registered scenario families:");
                 for f in families() {
@@ -100,18 +115,29 @@ fn main() {
     }
 
     println!(
-        "scenario matrix `{family}`: {} cells ({})",
+        "scenario matrix `{family}`: {} cells ({}{})",
         cells.len(),
         if cold {
             "cold per-cell"
         } else {
             "shared cache"
-        }
+        },
+        threads
+            .map(|n| format!(", {n} threads"))
+            .unwrap_or_default()
     );
-    let report = if cold {
-        run_matrix_cold(&cells)
-    } else {
-        run_matrix(&cells, &QueryCache::new())
+    let sweep = || {
+        if cold {
+            run_matrix_cold(&cells)
+        } else {
+            run_matrix(&cells, &QueryCache::new())
+        }
+    };
+    // --threads forwards to the gact-parallel per-call-tree override, so
+    // sweeps no longer require the GACT_THREADS environment variable.
+    let report = match threads {
+        Some(n) => gact_parallel::with_threads(n, sweep),
+        None => sweep(),
     };
 
     println!(
@@ -141,15 +167,24 @@ fn main() {
     if !cold {
         let sub = report.subdivision_stats;
         let tab = report.table_stats;
+        let plan = report.plan_stats;
         println!(
-            "cache: subdivisions {}/{} hits ({:.0}%), domain tables {}/{} hits ({:.0}%)",
+            "cache: subdivisions {}/{} hits ({:.0}%), domain tables {}/{} hits ({:.0}%), \
+             propagation plans {}/{} hits ({:.0}%)",
             sub.hits,
             sub.hits + sub.misses,
             100.0 * sub.hit_rate(),
             tab.hits,
             tab.hits + tab.misses,
             100.0 * tab.hit_rate(),
+            plan.hits,
+            plan.hits + plan.misses,
+            100.0 * plan.hit_rate(),
         );
+        let evictions = sub.evictions + tab.evictions + plan.evictions;
+        if evictions > 0 {
+            println!("cache evictions under the capacity bound: {evictions}");
+        }
     }
 
     if let Some(path) = json_path {

@@ -179,6 +179,8 @@ pub struct MatrixReport {
     pub subdivision_stats: CacheStats,
     /// Domain-table-cache counters accumulated over the sweep.
     pub table_stats: CacheStats,
+    /// Propagation-plan-cache counters accumulated over the sweep.
+    pub plan_stats: CacheStats,
 }
 
 impl MatrixReport {
@@ -316,8 +318,14 @@ fn evaluate_commit_adopt(n: usize, model: &ModelSpec) -> Verdict {
 /// the worker pool. Results come back in cell order and are deterministic
 /// for every thread count; only the wall times vary.
 pub fn run_matrix(cells: &[Cell], cache: &QueryCache) -> MatrixReport {
+    let diff = |after: CacheStats, before: CacheStats| CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        evictions: after.evictions - before.evictions,
+    };
     let sub_before = cache.subdivisions().stats();
     let tab_before = cache.table_stats();
+    let plan_before = cache.plan_stats();
     let t0 = Instant::now();
     let results = gact_parallel::par_map(cells, |cell| {
         let t = Instant::now();
@@ -328,19 +336,12 @@ pub fn run_matrix(cells: &[Cell], cache: &QueryCache) -> MatrixReport {
             wall: t.elapsed(),
         }
     });
-    let sub_after = cache.subdivisions().stats();
-    let tab_after = cache.table_stats();
     MatrixReport {
         results,
         total_wall: t0.elapsed(),
-        subdivision_stats: CacheStats {
-            hits: sub_after.hits - sub_before.hits,
-            misses: sub_after.misses - sub_before.misses,
-        },
-        table_stats: CacheStats {
-            hits: tab_after.hits - tab_before.hits,
-            misses: tab_after.misses - tab_before.misses,
-        },
+        subdivision_stats: diff(cache.subdivisions().stats(), sub_before),
+        table_stats: diff(cache.table_stats(), tab_before),
+        plan_stats: diff(cache.plan_stats(), plan_before),
     }
 }
 
@@ -365,6 +366,7 @@ pub fn run_matrix_cold(cells: &[Cell]) -> MatrixReport {
         total_wall: t0.elapsed(),
         subdivision_stats: CacheStats::default(),
         table_stats: CacheStats::default(),
+        plan_stats: CacheStats::default(),
     }
 }
 

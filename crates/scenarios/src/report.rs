@@ -16,10 +16,17 @@
 //!   ],
 //!   "totals": {"cells": 43, "solvable": 20, "unsolvable": 5,
 //!              "protocol_verified": 8, "unknown": 10, "wall_ms": 123.4,
-//!              "subdivision_cache": {"hits": 90, "misses": 9},
-//!              "domain_table_cache": {"hits": 40, "misses": 8}}
+//!              "subdivision_cache": {"hits": 90, "misses": 9, "evictions": 0},
+//!              "domain_table_cache": {"hits": 40, "misses": 8, "evictions": 0},
+//!              "propagation_plan_cache": {"hits": 40, "misses": 8, "evictions": 0}}
 //! }
 //! ```
+//!
+//! The three cache objects report the sweep's hit/miss/eviction counters
+//! for the shared `Chr^m` subdivisions, the solver's domain tables, and
+//! the propagate layer's constraint-class plans; evictions stay zero
+//! unless the caches are capacity-bounded (`GACT_CACHE_CAP` or
+//! `QueryCache::with_capacity`).
 //!
 //! Every field except the `wall_ms` timings is deterministic for a given
 //! family and code version.
@@ -83,15 +90,21 @@ pub fn to_json(family: &str, report: &MatrixReport) -> String {
         "    \"wall_ms\": {:.3},",
         report.total_wall.as_secs_f64() * 1e3
     );
+    let plan = report.plan_stats;
     let _ = writeln!(
         out,
-        "    \"subdivision_cache\": {{\"hits\": {}, \"misses\": {}}},",
-        sub.hits, sub.misses
+        "    \"subdivision_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},",
+        sub.hits, sub.misses, sub.evictions
     );
     let _ = writeln!(
         out,
-        "    \"domain_table_cache\": {{\"hits\": {}, \"misses\": {}}}",
-        tab.hits, tab.misses
+        "    \"domain_table_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},",
+        tab.hits, tab.misses, tab.evictions
+    );
+    let _ = writeln!(
+        out,
+        "    \"propagation_plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+        plan.hits, plan.misses, plan.evictions
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

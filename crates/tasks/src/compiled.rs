@@ -1,0 +1,703 @@
+//! Precompiled task views for the solver's propagation layer.
+//!
+//! The layered solver (see `gact`'s `solver` module) asks the same
+//! questions about a task's carrier map over and over, across every
+//! vertex of a subdivision and — in the incremental decision procedure —
+//! across every round `m` of the `Chr^m` chain:
+//!
+//! * *which output vertices of color `c` does `Δ(ω)` allow?* (the initial
+//!   domain of every domain vertex with carrier `ω` and color `c`);
+//! * *which tuples of output vertices form a simplex of `Δ(ω)` with a
+//!   given color set?* (the support table of every constraint simplex
+//!   carried by `ω`);
+//! * *is `Δ(ω)` connected, and which component does a candidate lie in?*
+//!   (the Saraph–Herlihy–Gafni-style connectivity prune: the image of a
+//!   constraint simplex is itself a simplex, hence lives in a single
+//!   component, so components missing a required color support nothing).
+//!
+//! A [`CompiledTask`] answers all three from tables computed **once per
+//! distinct carrier** — it interns carriers in a [`SimplexArena`] and
+//! compiles candidate buckets, support rows, and connectivity *lazily*,
+//! each on first use, so propagation never re-queries
+//! [`Task::allowed_ref`] or rebuilds a vertex-set scan per domain vertex,
+//! and an image that is only ever a vertex carrier never pays for row
+//! tables it would not use. Because carriers are simplices of the *base*
+//! input complex, the same interned ids (and the same compiled tables)
+//! serve every round of an incremental `Chr^m` sweep: domains that
+//! survive class-level pruning at round `m` are looked up, not
+//! recomputed, at round `m + 1`.
+//!
+//! The class-level memo ([`CompiledTask::class_domains`]) goes one step
+//! further: constraints whose carrier, color set, and per-color member
+//! carriers coincide are *structurally identical* as far as the task is
+//! concerned, so their generalized-arc-consistency prune against the
+//! initial domains is computed once per [`ClassKey`] and shared — across
+//! the thousands of constraint simplices of one subdivision, and across
+//! rounds. These are the solver's "learned dead values": a value absent
+//! from every supported row of its class can appear in no solution, at
+//! any round, and is never reconsidered.
+//!
+//! ## The row-count gate
+//!
+//! Generalized arc consistency on a constraint is only worth its table
+//! scan when the table is selective. Permissive carrier maps (the
+//! full-subdivision control tasks, whose `Δ(ω)` is an entire `Chr^m ω`)
+//! produce images with thousands of top simplices that prune nothing —
+//! so classes whose image has more than [`CLASS_ROW_LIMIT`] simplices of
+//! the constraint's dimension are *skipped*: their [`ClassDomains`] is
+//! marked non-[`exhaustive`](ClassDomains::exhaustive), supports
+//! everything, and the solver's fixpoint never revises them. Skipping a
+//! prune is always sound (the search layer still enforces every
+//! constraint); the gate is an O(1) dimension-count check, so permissive
+//! tasks pay essentially nothing for the propagation layer.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use gact_chromatic::Color;
+use gact_topology::connectivity::{is_k_connected, Verdict};
+use gact_topology::{Complex, Simplex, SimplexArena, VertexId};
+
+use crate::task::Task;
+
+/// Interned id of a carrier simplex within a [`CompiledTask`] (an index
+/// into its first-encounter-ordered carrier table).
+pub type CarrierId = u32;
+
+/// Above this many image simplices of the constraint's dimension, a
+/// class is not worth a generalized-arc-consistency table scan and is
+/// skipped (see the module docs — skipping is sound, the search layer
+/// still enforces the constraint).
+pub const CLASS_ROW_LIMIT: usize = 512;
+
+/// One lazily built support-row table: the simplices of an image complex
+/// with one exact color set, stored row-major with columns in ascending
+/// color order.
+#[derive(Clone, Debug)]
+pub struct RowTable {
+    /// Number of columns (the size of the color set).
+    pub width: usize,
+    /// Row-major vertex data; `data.len()` is `width × row_count`.
+    pub data: Vec<VertexId>,
+}
+
+impl RowTable {
+    /// Number of rows (simplices with this exact color set).
+    pub fn row_count(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Iterates the rows as vertex slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.data.chunks_exact(self.width.max(1))
+    }
+}
+
+/// The eagerly compiled part of one `Δ` image: per-color candidate
+/// buckets (everything else — support rows, connectivity — is compiled
+/// lazily by the owning [`CompiledTask`] on first use).
+#[derive(Debug)]
+pub struct CompiledImage {
+    /// Whether the image is empty (no allowed outputs at all).
+    pub is_empty: bool,
+    /// Candidate vertices per color, in ascending vertex order — exactly
+    /// the order a `vertex_set()` scan filtered by color would produce,
+    /// which the solver's candidate lists are pinned to.
+    buckets: HashMap<Color, Arc<Vec<VertexId>>>,
+}
+
+/// The shared empty bucket returned for colors with no candidates.
+fn empty_bucket() -> Arc<Vec<VertexId>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<VertexId>>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl CompiledImage {
+    /// Compiles the buckets of one image complex; `color_of` resolves
+    /// output-vertex colors (the task's output coloring).
+    fn compile(image: Option<&Complex>, color_of: &dyn Fn(VertexId) -> Color) -> CompiledImage {
+        let Some(image) = image.filter(|c| !c.is_empty()) else {
+            return CompiledImage {
+                is_empty: true,
+                buckets: HashMap::new(),
+            };
+        };
+        let mut buckets: HashMap<Color, Vec<VertexId>> = HashMap::new();
+        for v in image.vertex_set() {
+            buckets.entry(color_of(v)).or_default().push(v);
+        }
+        let buckets = buckets
+            .into_iter()
+            .map(|(c, mut b)| {
+                b.sort_unstable();
+                (c, Arc::new(b))
+            })
+            .collect();
+        CompiledImage {
+            is_empty: false,
+            buckets,
+        }
+    }
+
+    /// The candidate bucket for `color`: the image's vertices of that
+    /// color, ascending. Shared (`Arc`) so thousands of domain vertices
+    /// with the same carrier and color alias one allocation.
+    pub fn bucket(&self, color: Color) -> Arc<Vec<VertexId>> {
+        self.buckets
+            .get(&color)
+            .cloned()
+            .unwrap_or_else(empty_bucket)
+    }
+}
+
+/// Lazily computed path-connectivity data of one image complex, consumed
+/// by the component prune's attribution.
+#[derive(Debug)]
+pub struct ImageComponents {
+    /// Path-connectivity of the image (`is_k_connected(_, 0)`), always
+    /// decided exactly.
+    pub connectivity: Verdict,
+    /// Component index per image vertex (empty when connected).
+    component_of: HashMap<VertexId, u32>,
+    /// Number of connected components (1 for connected non-empty images).
+    pub component_count: usize,
+}
+
+impl ImageComponents {
+    /// Component index of an image vertex (0 when the image is
+    /// connected).
+    pub fn component(&self, v: VertexId) -> u32 {
+        self.component_of.get(&v).copied().unwrap_or(0)
+    }
+}
+
+/// Structural identity of a constraint simplex as the task sees it: the
+/// constraint's carrier plus, per member color (ascending), the member
+/// vertex's own carrier. Two constraints with equal keys admit exactly
+/// the same value tuples, whatever round of the subdivision chain they
+/// come from — which is what lets the class-level prune transfer across
+/// rounds.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    /// Interned carrier of the constraint simplex.
+    pub carrier: CarrierId,
+    /// Per member, ascending by color: the member's color and the
+    /// interned id of its own (vertex) carrier.
+    pub members: Vec<(Color, CarrierId)>,
+}
+
+/// The memoized class-level prune for one [`ClassKey`]: per member (in
+/// key order), which positions of the member's initial bucket are
+/// supported by at least one row of the constraint's table — plus the
+/// surviving rows themselves, re-encoded as bucket positions so the
+/// solver's arc-consistency fixpoint revises this class with pure integer
+/// scans.
+#[derive(Debug)]
+pub struct ClassDomains {
+    /// Whether the table scan actually ran. `false` for classes skipped
+    /// by the [`CLASS_ROW_LIMIT`] gate: such a class supports everything,
+    /// records no rows, and must not be revised by the fixpoint (its
+    /// emptiness means "no information", not "no support").
+    pub exhaustive: bool,
+    /// Per member: `supported[j][i]` says bucket value `i` of member `j`
+    /// survives (appears in a row whose every entry lies in its member's
+    /// bucket). All-true for non-exhaustive classes.
+    pub supported: Vec<Vec<bool>>,
+    /// Per member: `component_dead[j][i]` says bucket value `i` was
+    /// pruned *and* its whole component of the constraint's image
+    /// supports no row (the connectivity argument; all-false for
+    /// connected images).
+    pub component_dead: Vec<Vec<bool>>,
+    /// Number of members (the row width).
+    pub width: usize,
+    /// Surviving rows, flattened row-major: each row gives, per member in
+    /// key order, the *bucket position* of its entry. Rows with any entry
+    /// outside its member's bucket are dropped here (they support
+    /// nothing). Empty for non-exhaustive classes.
+    pub rows: Vec<u32>,
+    /// Total values pruned across members, relative to the bucket sizes.
+    pub prunes: u64,
+    /// The subset of `prunes` killed by the connectivity argument: the
+    /// value's whole component of the constraint's image supports no row
+    /// (possible only for disconnected images).
+    pub component_prunes: u64,
+}
+
+impl ClassDomains {
+    /// Iterates the surviving rows as bucket-position slices of length
+    /// [`ClassDomains::width`].
+    pub fn position_rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.rows.chunks_exact(self.width.max(1))
+    }
+}
+
+/// Interior tables of a [`CompiledTask`], behind one mutex.
+#[derive(Default)]
+struct State {
+    arena: SimplexArena,
+    carriers: Vec<Simplex>,
+    images: Vec<Option<Arc<CompiledImage>>>,
+    rows: HashMap<(CarrierId, u64), Arc<RowTable>>,
+    components: HashMap<CarrierId, Arc<ImageComponents>>,
+    classes: HashMap<ClassKey, Arc<ClassDomains>>,
+}
+
+/// A task with precompiled, memoized `Δ`-image tables (see the module
+/// docs). Cheap to construct — everything is compiled lazily, per
+/// distinct carrier or constraint class, on first use.
+///
+/// Thread-safe: probes take the interior mutex only long enough to look
+/// up or record a table; compilation itself runs outside the lock, so
+/// concurrent misses on the same key race benignly (the computation is a
+/// pure function of the task and the first insert wins).
+///
+/// # Examples
+///
+/// ```
+/// use gact_tasks::classic::consensus_task;
+/// use gact_tasks::CompiledTask;
+///
+/// let task = consensus_task(1, &[0, 1]);
+/// let compiled = CompiledTask::new(&task);
+/// // A mixed-input edge allows two all-agree outputs: its image is
+/// // disconnected, which is what the component prune keys off.
+/// let mixed = task
+///     .input
+///     .complex()
+///     .iter_dim(1)
+///     .find(|e| task.allowed(e).count_of_dim(1) == 2)
+///     .unwrap()
+///     .clone();
+/// let parts = compiled.image_components(compiled.carrier_id(&mixed));
+/// assert!(!parts.connectivity.holds());
+/// assert_eq!(parts.component_count, 2);
+/// ```
+pub struct CompiledTask<'t> {
+    task: &'t Task,
+    state: Mutex<State>,
+}
+
+impl<'t> CompiledTask<'t> {
+    /// Wraps a task; no tables are compiled yet.
+    pub fn new(task: &'t Task) -> Self {
+        CompiledTask {
+            task,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &'t Task {
+        self.task
+    }
+
+    /// Interns a carrier simplex, returning its stable id. Identical
+    /// simplices always intern to the same id for the lifetime of the
+    /// compiled task — across rounds of a subdivision chain included.
+    pub fn carrier_id(&self, carrier: &Simplex) -> CarrierId {
+        let mut state = self.lock();
+        let id = state.arena.intern(carrier);
+        if id.index() == state.carriers.len() {
+            state.carriers.push(carrier.clone());
+            state.images.push(None);
+        }
+        id.0
+    }
+
+    /// The compiled candidate buckets of an interned carrier, compiling
+    /// them on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cid` was not returned by [`CompiledTask::carrier_id`].
+    pub fn image(&self, cid: CarrierId) -> Arc<CompiledImage> {
+        let carrier = {
+            let state = self.lock();
+            if let Some(hit) = state.images[cid as usize].clone() {
+                return hit;
+            }
+            state.carriers[cid as usize].clone()
+        };
+        // Compile outside the lock (pure; a racing builder's insert wins).
+        let output = &self.task.output;
+        let built = Arc::new(CompiledImage::compile(
+            self.task.allowed_ref(&carrier),
+            &|v| output.color(v),
+        ));
+        let mut state = self.lock();
+        let slot = &mut state.images[cid as usize];
+        if let Some(hit) = slot.clone() {
+            return hit;
+        }
+        *slot = Some(built.clone());
+        built
+    }
+
+    /// The initial candidate domain of a domain vertex with the given
+    /// carrier and color: the `Δ(carrier)` vertices of that color,
+    /// ascending, shared across every vertex (and round) with the same
+    /// class.
+    pub fn bucket(&self, cid: CarrierId, color: Color) -> Arc<Vec<VertexId>> {
+        self.image(cid).bucket(color)
+    }
+
+    /// The lazily computed connectivity data of an interned carrier's
+    /// image (the component prune's evidence).
+    pub fn image_components(&self, cid: CarrierId) -> Arc<ImageComponents> {
+        if let Some(hit) = self.lock().components.get(&cid).cloned() {
+            return hit;
+        }
+        let carrier = self.lock().carriers[cid as usize].clone();
+        let built = Arc::new(
+            match self.task.allowed_ref(&carrier).filter(|c| !c.is_empty()) {
+                None => ImageComponents {
+                    connectivity: is_k_connected(&Complex::new(), 0),
+                    component_of: HashMap::new(),
+                    component_count: 0,
+                },
+                Some(image) => {
+                    let connectivity = is_k_connected(image, 0);
+                    let (component_of, component_count) = if connectivity.holds() {
+                        (HashMap::new(), 1)
+                    } else {
+                        let components = image.connected_components();
+                        let mut of = HashMap::new();
+                        for (i, comp) in components.iter().enumerate() {
+                            for &v in comp {
+                                of.insert(v, i as u32);
+                            }
+                        }
+                        (of, components.len())
+                    };
+                    ImageComponents {
+                        connectivity,
+                        component_of,
+                        component_count,
+                    }
+                }
+            },
+        );
+        self.lock().components.entry(cid).or_insert(built).clone()
+    }
+
+    /// The lazily built support rows of `(carrier, color-set mask)`: the
+    /// image's simplices with exactly that color set, columns in
+    /// ascending color order. Built at most once per pair, straight off
+    /// the facet tables — a rainbow-colored facet has at most one face
+    /// with a given exact color set (its vertices of those colors), so
+    /// one facet scan with deduplication enumerates the rows without
+    /// materializing the image's face closure.
+    fn rows_for(&self, cid: CarrierId, mask: u64, width: usize) -> Arc<RowTable> {
+        if let Some(hit) = self.lock().rows.get(&(cid, mask)).cloned() {
+            return hit;
+        }
+        let carrier = self.lock().carriers[cid as usize].clone();
+        let output = &self.task.output;
+        let mut data: Vec<VertexId> = Vec::new();
+        let mut scratch: Vec<(Color, VertexId)> = Vec::new();
+        let mut seen: std::collections::HashSet<Simplex> = std::collections::HashSet::new();
+        if let Some(image) = self.task.allowed_ref(&carrier) {
+            if width >= 1 {
+                for facet in image.iter_facets() {
+                    scratch.clear();
+                    scratch.extend(
+                        facet
+                            .iter()
+                            .map(|v| (output.color(v), v))
+                            .filter(|(c, _)| mask & (1u64 << c.0) != 0),
+                    );
+                    if scratch.len() != width {
+                        continue;
+                    }
+                    scratch.sort_unstable();
+                    let row = Simplex::new(scratch.iter().map(|&(_, v)| v));
+                    if seen.insert(row) {
+                        data.extend(scratch.iter().map(|&(_, v)| v));
+                    }
+                }
+            }
+        }
+        let built = Arc::new(RowTable { width, data });
+        self.lock().rows.entry((cid, mask)).or_insert(built).clone()
+    }
+
+    /// The memoized class-level generalized-arc-consistency prune for a
+    /// constraint class (see [`ClassKey`]): computed once per distinct
+    /// key, then shared by every structurally identical constraint of
+    /// every round. Classes over images with more than
+    /// [`CLASS_ROW_LIMIT`] simplices of the constraint's dimension come
+    /// back non-exhaustive (see the module docs).
+    pub fn class_domains(&self, key: &ClassKey) -> Arc<ClassDomains> {
+        if let Some(hit) = self.lock().classes.get(key).cloned() {
+            return hit;
+        }
+        let built = Arc::new(self.compute_class(key));
+        self.lock()
+            .classes
+            .entry(key.clone())
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Number of distinct constraint classes memoized so far.
+    pub fn class_count(&self) -> usize {
+        self.lock().classes.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The uncached class-level prune: one scan of the constraint
+    /// carrier's row table against the members' initial buckets (or the
+    /// skip marker when the row-count gate trips).
+    fn compute_class(&self, key: &ClassKey) -> ClassDomains {
+        let width = key.members.len();
+        let buckets: Vec<Arc<Vec<VertexId>>> = key
+            .members
+            .iter()
+            .map(|&(color, cid)| self.bucket(cid, color))
+            .collect();
+        let sizes: Vec<usize> = buckets.iter().map(|b| b.len()).collect();
+
+        // The O(1) row-count gate: permissive images with huge tables are
+        // not worth scanning — skip, supporting everything. Facet count
+        // bounds the row count (each facet contributes at most one row)
+        // and costs nothing to read.
+        let carrier = self.lock().carriers[key.carrier as usize].clone();
+        let facet_count = self
+            .task
+            .allowed_ref(&carrier)
+            .map(|c| c.facet_count())
+            .unwrap_or(0);
+        if facet_count > CLASS_ROW_LIMIT {
+            return ClassDomains {
+                exhaustive: false,
+                supported: sizes.iter().map(|&n| vec![true; n]).collect(),
+                component_dead: sizes.iter().map(|&n| vec![false; n]).collect(),
+                width,
+                rows: Vec::new(),
+                prunes: 0,
+                component_prunes: 0,
+            };
+        }
+
+        let mask = key.members.iter().fold(0u64, |m, &(c, _)| m | 1u64 << c.0);
+        let table = self.rows_for(key.carrier, mask, width);
+        let mut supported: Vec<Vec<bool>> = sizes.iter().map(|&n| vec![false; n]).collect();
+        let mut component_dead: Vec<Vec<bool>> = sizes.iter().map(|&n| vec![false; n]).collect();
+        let mut rows: Vec<u32> = Vec::new();
+        let mut surviving_row_heads: Vec<VertexId> = Vec::new();
+        for row in table.rows() {
+            // Row positions of each entry in its member's bucket (buckets
+            // are ascending, so membership is a binary search); the row
+            // supports its entries only when every entry is present.
+            let mut positions = [0u32; 64];
+            let all_in = row
+                .iter()
+                .enumerate()
+                .all(|(j, v)| match buckets[j].binary_search(v) {
+                    Ok(i) => {
+                        positions[j] = i as u32;
+                        true
+                    }
+                    Err(_) => false,
+                });
+            if !all_in {
+                continue;
+            }
+            for (j, _) in row.iter().enumerate() {
+                supported[j][positions[j] as usize] = true;
+            }
+            rows.extend_from_slice(&positions[..width]);
+            surviving_row_heads.push(row[0]);
+        }
+        let mut prunes = 0u64;
+        for flags in &supported {
+            prunes += flags.iter().filter(|&&ok| !ok).count() as u64;
+        }
+        let mut component_prunes = 0u64;
+        if prunes > 0 {
+            // Attribute prunes to the connectivity argument when the
+            // candidate's whole component of the image supports no row
+            // (only possible for disconnected images). Connectivity is
+            // computed lazily, and only for classes that pruned.
+            let parts = self.image_components(key.carrier);
+            if !parts.connectivity.holds() {
+                let mut component_has_row = vec![false; parts.component_count.max(1)];
+                for head in &surviving_row_heads {
+                    component_has_row[parts.component(*head) as usize] = true;
+                }
+                for (j, flags) in supported.iter().enumerate() {
+                    for (i, &ok) in flags.iter().enumerate() {
+                        if ok {
+                            continue;
+                        }
+                        let comp = parts.component(buckets[j][i]) as usize;
+                        if !component_has_row.get(comp).copied().unwrap_or(false) {
+                            component_prunes += 1;
+                            component_dead[j][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        ClassDomains {
+            exhaustive: true,
+            supported,
+            component_dead,
+            width,
+            rows,
+            prunes,
+            component_prunes,
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledTask<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("CompiledTask")
+            .field("task", &self.task.name)
+            .field("carriers", &state.carriers.len())
+            .field("classes", &state.classes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::full_subdivision_task;
+    use crate::classic::consensus_task;
+
+    #[test]
+    fn buckets_match_vertex_set_scan() {
+        let at = full_subdivision_task(2, 1);
+        let task = &at.task;
+        let compiled = CompiledTask::new(task);
+        for omega in task.input.complex().iter() {
+            let cid = compiled.carrier_id(omega);
+            let image = compiled.image(cid);
+            let allowed = task.allowed(omega);
+            for c in 0..3u8 {
+                let expect: Vec<VertexId> = allowed
+                    .vertex_set()
+                    .into_iter()
+                    .filter(|&w| task.output.color(w) == Color(c))
+                    .collect();
+                assert_eq!(*image.bucket(Color(c)), expect, "carrier {omega:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn carrier_ids_are_stable() {
+        let task = consensus_task(1, &[0, 1]);
+        let compiled = CompiledTask::new(&task);
+        let omega = task.input.complex().iter_dim(1).next().unwrap().clone();
+        let a = compiled.carrier_id(&omega);
+        let b = compiled.carrier_id(&omega);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consensus_edge_class_pins_corners() {
+        // Binary consensus, two processes, mixed inputs: the edge's class
+        // with both members carried by their own (pinned) vertices has no
+        // supported row — each agree-edge needs a value the other corner
+        // cannot output.
+        let task = consensus_task(1, &[0, 1]);
+        let compiled = CompiledTask::new(&task);
+        // A mixed-input edge: the two corners' pinned solo outputs do not
+        // span an allowed output edge (each corner must decide its own,
+        // different, value).
+        let omega = task
+            .input
+            .complex()
+            .iter_dim(1)
+            .find(|e| {
+                let vs: Vec<VertexId> = e.iter().collect();
+                let a = task.allowed(&Simplex::vertex(vs[0]));
+                let b = task.allowed(&Simplex::vertex(vs[1]));
+                let (a0, b0) = (a.vertex_set(), b.vertex_set());
+                let pinned = Simplex::from_iter([a0.first().unwrap().0, b0.first().unwrap().0]);
+                !task.allowed(e).contains(&pinned)
+            })
+            .expect("a mixed-input edge exists")
+            .clone();
+        let vs: Vec<VertexId> = omega.iter().collect();
+        let members: Vec<(Color, CarrierId)> = {
+            let mut m: Vec<(Color, CarrierId)> = vs
+                .iter()
+                .map(|&v| {
+                    (
+                        task.input.color(v),
+                        compiled.carrier_id(&Simplex::vertex(v)),
+                    )
+                })
+                .collect();
+            m.sort_unstable_by_key(|&(c, _)| c);
+            m
+        };
+        let key = ClassKey {
+            carrier: compiled.carrier_id(&omega),
+            members,
+        };
+        let class = compiled.class_domains(&key);
+        assert!(class.exhaustive);
+        assert!(class.supported.iter().all(|f| f.iter().all(|&ok| !ok)));
+        assert!(class.prunes > 0);
+        // The image is disconnected and every prune is a component prune:
+        // each corner's sole candidate sits in a component whose row
+        // requires the other corner to agree.
+        assert_eq!(class.component_prunes, class.prunes);
+        // Memoized: the same key returns the same allocation.
+        assert!(Arc::ptr_eq(&class, &compiled.class_domains(&key)));
+    }
+
+    #[test]
+    fn full_subdivision_interior_class_supports_everything() {
+        // Chr^1 control task: Δ is the full subdivision, every candidate
+        // of the top carrier participates in some allowed simplex.
+        let at = full_subdivision_task(1, 1);
+        let task = &at.task;
+        let compiled = CompiledTask::new(task);
+        let omega = task.input.complex().iter_dim(1).next().unwrap().clone();
+        let cid = compiled.carrier_id(&omega);
+        let key = ClassKey {
+            carrier: cid,
+            members: vec![(Color(0), cid), (Color(1), cid)],
+        };
+        let class = compiled.class_domains(&key);
+        assert!(class.exhaustive, "small image: the gate must not trip");
+        assert_eq!(class.prunes, 0);
+        assert!(class
+            .supported
+            .iter()
+            .all(|f| !f.is_empty() && f.iter().all(|&ok| ok)));
+    }
+
+    #[test]
+    fn oversized_images_skip_the_table_scan() {
+        // A depth-3 full-subdivision task has 13³ = 2197 top simplices in
+        // Δ(ω) — beyond CLASS_ROW_LIMIT, so its class is skipped: no
+        // rows, no prunes, marked non-exhaustive.
+        let at = full_subdivision_task(2, 3);
+        let task = &at.task;
+        let compiled = CompiledTask::new(task);
+        let omega = task.input.complex().iter_dim(2).next().unwrap().clone();
+        let cid = compiled.carrier_id(&omega);
+        let key = ClassKey {
+            carrier: cid,
+            members: vec![(Color(0), cid), (Color(1), cid), (Color(2), cid)],
+        };
+        let class = compiled.class_domains(&key);
+        assert!(!class.exhaustive);
+        assert_eq!(class.prunes, 0);
+        assert_eq!(class.position_rows().count(), 0);
+        assert!(class.supported.iter().all(|f| f.iter().all(|&ok| ok)));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod affine;
 pub mod classic;
 pub mod commit_adopt;
+pub mod compiled;
 pub mod task;
 
 pub use affine::{
@@ -35,4 +36,5 @@ pub use affine::{
 };
 pub use classic::{consensus_task, pseudosphere, set_agreement_task};
 pub use commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
+pub use compiled::{CarrierId, ClassDomains, ClassKey, CompiledImage, CompiledTask, RowTable};
 pub use task::{OutputViolation, Task, TaskError};

@@ -373,6 +373,16 @@ impl Complex {
         out
     }
 
+    /// Iterates the facets (maximal simplices) in dimension-table order,
+    /// borrowing them — no face-closure materialization, no clones. The
+    /// order is deterministic (ascending dimension, then the canonical
+    /// sorted order of each table).
+    pub fn iter_facets(&self) -> impl Iterator<Item = &Simplex> {
+        self.tables
+            .iter()
+            .flat_map(move |t| t.iter().map(move |&id| self.resolve(id)))
+    }
+
     /// Number of facets (maximal simplices), without materializing them.
     pub fn facet_count(&self) -> usize {
         self.tables.iter().map(Vec::len).sum()

@@ -352,12 +352,29 @@ mod tests {
 
 /// A prepared point-location structure for one realized simplex: the
 /// normal-equation matrix of the barycentric solve is inverted once, so
-/// queries cost one matrix–vector product instead of a fresh elimination.
+/// queries cost one matrix–vector product instead of a fresh elimination,
+/// and a padded bounding box rejects far-away query points before any
+/// linear algebra runs.
 #[derive(Clone, Debug)]
 pub struct SimplexLocator {
     verts: Vec<Point>,
     inv: Vec<Vec<f64>>, // inverse of the (k×k) normal matrix
+    /// Componentwise min/max of the vertex coordinates, padded by
+    /// `BBOX_PAD`. Any point the exact predicate accepts lies inside the
+    /// padded box (see `contains`), so the box is a pure pre-filter:
+    /// rejecting outside it can never change a containment answer.
+    bbox_min: Point,
+    bbox_max: Point,
 }
+
+/// Base padding of the [`SimplexLocator`] bounding box. The exact
+/// containment predicate accepts points whose barycentric coordinates
+/// dip to `−EPS` and whose reconstruction residual reaches `1e-7`; both
+/// excursions move a point at most `≈ 1e-7 · (1 + max |v|)` per
+/// coordinate outside the convex hull, so the effective pad scales with
+/// the locator's coordinate magnitude (see `SimplexLocator::new`) and
+/// strictly contains every acceptable point at any geometry scale.
+const BBOX_PAD: f64 = 1e-6;
 
 impl SimplexLocator {
     /// Prepares the locator for the simplex `s` realized by `g`. Returns
@@ -377,7 +394,37 @@ impl SimplexLocator {
             }
         }
         let inv = invert(&a)?;
-        Some(SimplexLocator { verts, inv })
+        // Pad scaled by the coordinate magnitude so the pre-filter stays
+        // a strict superset of the exact predicate for geometries of any
+        // scale, not just the unit simplices this workspace realizes.
+        let scale = verts
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(1.0f64, |m, &x| m.max(x.abs()));
+        let pad = BBOX_PAD * scale;
+        let mut bbox_min = vec![f64::INFINITY; d];
+        let mut bbox_max = vec![f64::NEG_INFINITY; d];
+        for v in &verts {
+            for t in 0..d {
+                bbox_min[t] = bbox_min[t].min(v[t] - pad);
+                bbox_max[t] = bbox_max[t].max(v[t] + pad);
+            }
+        }
+        Some(SimplexLocator {
+            verts,
+            inv,
+            bbox_min,
+            bbox_max,
+        })
+    }
+
+    /// Whether `p` lies inside the padded bounding box (the cheap
+    /// pre-filter `contains` runs before the barycentric solve).
+    #[inline]
+    fn in_bbox(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.bbox_min.iter().zip(&self.bbox_max))
+            .all(|(&x, (&lo, &hi))| x >= lo && x <= hi)
     }
 
     /// Barycentric coordinates of `p`, or `None` if `p` is off the affine
@@ -413,7 +460,17 @@ impl SimplexLocator {
     }
 
     /// Whether `p` lies in the closed realized simplex, up to [`EPS`].
+    ///
+    /// The padded bounding box is checked first: a point the exact
+    /// predicate would accept reconstructs (residual ≤ 1e-7) from
+    /// barycentric weights in `[−EPS, 1 + k·EPS]`, which keeps it well
+    /// inside the `BBOX_PAD`-padded box, so the pre-filter never flips
+    /// an answer — it only skips the matrix–vector solve for the bulk of
+    /// far-away queries.
     pub fn contains(&self, p: &[f64]) -> bool {
+        if !self.in_bbox(p) {
+            return false;
+        }
         self.barycentric(p)
             .map(|l| l.iter().all(|&x| x >= -EPS))
             .unwrap_or(false)
@@ -469,6 +526,11 @@ impl ComplexLocator {
         p: &'a [f64],
     ) -> impl Iterator<Item = (&'a Simplex, Vec<f64>)> + 'a {
         self.facets.iter().filter_map(move |(s, l)| {
+            if !l.in_bbox(p) {
+                // Same soundness argument as `SimplexLocator::contains`:
+                // any accepted point lies inside the padded box.
+                return None;
+            }
             l.barycentric(p)
                 .filter(|lam| lam.iter().all(|&x| x >= -EPS))
                 .map(|lam| (s, lam))
