@@ -164,16 +164,43 @@ fn run_json_benches(path: &str, force: bool) {
     println!("timing scenario_matrix …");
     {
         use gact::cache::QueryCache;
+        use gact_engine::{Engine, MatrixRequest};
         use gact_scenarios::{cells_for, run_matrix, run_matrix_cold};
         let cells = cells_for("rounds-sweep").expect("registered family");
-        push(measure("scenario_matrix/rounds_sweep_cached", 10, || {
+        let direct = measure("scenario_matrix/rounds_sweep_cached", 10, || {
             // Fresh cache per sweep: intra-sweep sharing only.
             let cache = QueryCache::new();
             run_matrix(&cells, &cache)
-        }));
+        });
+        let direct_median = direct.median_ns;
+        push(direct);
         push(measure("scenario_matrix/rounds_sweep_cold", 10, || {
             run_matrix_cold(&cells)
         }));
+        // The facade overhead gate: the same cached rounds sweep routed
+        // through a fresh Engine session per iteration (request
+        // validation + controlled driver + stats accounting on top of
+        // the identical cache/solver work). The facade must stay within
+        // 5% of the direct path (plus a 2ms absolute guard against
+        // container timer noise on a sub-50ms workload).
+        let request = MatrixRequest::family("rounds-sweep").expect("registered family");
+        let routed = measure("scenario_matrix/engine_overhead", 10, || {
+            let engine = Engine::new();
+            engine.matrix(&request).expect("ungoverned sweep completes")
+        });
+        let budget_ns = direct_median * 1.05 + 2e6;
+        assert!(
+            routed.median_ns <= budget_ns,
+            "engine facade overhead too high: {:.2}ms routed vs {:.2}ms direct (allowed {:.2}ms)",
+            routed.median_ns / 1e6,
+            direct_median / 1e6,
+            budget_ns / 1e6
+        );
+        println!(
+            "  engine facade overhead: {:+.1}% over direct run_matrix (gate: ≤5% + 2ms)",
+            100.0 * (routed.median_ns - direct_median) / direct_median
+        );
+        push(routed);
     }
 
     println!("timing lt_pipeline …");

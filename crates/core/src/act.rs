@@ -20,7 +20,10 @@ use gact_tasks::{CompiledTask, Task};
 use gact_topology::{Simplex, VertexId};
 
 use crate::cache::QueryCache;
-use crate::solver::{prepare_domain, solve_compiled_with, DomainTables, SolveOutcome, SolveStats};
+use crate::control::{Interrupt, SolveControl, StopState};
+use crate::solver::{
+    prepare_domain, solve_compiled_interruptible, DomainTables, SolveOutcome, SolveStats,
+};
 
 /// Verdict of the bounded ACT search.
 #[derive(Debug)]
@@ -155,7 +158,10 @@ pub fn connectivity_obstruction(task: &Task) -> Option<Obstruction> {
 /// ));
 /// ```
 pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
-    act_engine(task, max_depth, None)
+    match act_engine(task, max_depth, None, None) {
+        ActOutcome::Done { verdict, .. } => verdict,
+        ActOutcome::Interrupted { .. } => unreachable!("uncontrolled query cannot be interrupted"),
+    }
 }
 
 /// [`act_solve`] through a [`QueryCache`]: each depth's `Chr^depth I`,
@@ -167,7 +173,75 @@ pub fn act_solve(task: &Task, max_depth: usize) -> ActVerdict {
 /// [`act_solve`]'s for every input and thread count (pinned by the cache
 /// regression tests).
 pub fn act_solve_with_cache(task: &Task, max_depth: usize, cache: &QueryCache) -> ActVerdict {
-    act_engine(task, max_depth, Some(cache))
+    match act_engine(task, max_depth, Some(cache), None) {
+        ActOutcome::Done { verdict, .. } => verdict,
+        ActOutcome::Interrupted { .. } => unreachable!("uncontrolled query cannot be interrupted"),
+    }
+}
+
+/// Outcome of a *controlled* ACT query: either a full verdict (with the
+/// solver statistics accumulated across every searched depth), or an
+/// honest interruption report naming the reason and how far the query
+/// got before stopping. See [`act_solve_controlled`].
+#[derive(Debug)]
+pub enum ActOutcome {
+    /// The query ran to completion; the verdict is exactly what
+    /// [`act_solve`] / [`act_solve_with_cache`] would have returned.
+    Done {
+        /// The completed verdict.
+        verdict: ActVerdict,
+        /// Solver statistics accumulated across every searched depth
+        /// (unlike [`ActVerdict::Solvable`]'s per-depth stats).
+        stats: SolveStats,
+    },
+    /// The query stopped early at a round boundary or search-split point.
+    Interrupted {
+        /// Why the query stopped.
+        reason: Interrupt,
+        /// Number of depths *fully* searched before stopping (depths
+        /// `0 .. completed_depths` were exhausted without finding a map).
+        completed_depths: usize,
+        /// Solver statistics accumulated up to the interruption.
+        stats: SolveStats,
+    },
+}
+
+impl ActOutcome {
+    /// The completed verdict, if the query was not interrupted.
+    pub fn verdict(&self) -> Option<&ActVerdict> {
+        match self {
+            ActOutcome::Done { verdict, .. } => Some(verdict),
+            ActOutcome::Interrupted { .. } => None,
+        }
+    }
+
+    /// Accumulated solver statistics, whichever way the query ended.
+    pub fn stats(&self) -> SolveStats {
+        match self {
+            ActOutcome::Done { stats, .. } | ActOutcome::Interrupted { stats, .. } => *stats,
+        }
+    }
+}
+
+/// [`act_solve_with_cache`] under a [`SolveControl`]: the cancellation
+/// token and budget are checked at every round boundary (before extending
+/// the subdivision chain to the next depth) and at the search layer's
+/// split points, so a cancelled or over-budget query returns an honest
+/// [`ActOutcome::Interrupted`] instead of running on.
+///
+/// With an inert control (no token, unlimited budget) the query takes the
+/// exact same code paths as [`act_solve_with_cache`] and its verdict is
+/// byte-identical — the engine equivalence tests pin this. An interrupted
+/// query never poisons `cache`: every cached artifact (subdivision stage,
+/// domain table, propagation plan) is only stored fully built, so
+/// re-submitting the same query afterwards returns the full answer.
+pub fn act_solve_controlled(
+    task: &Task,
+    max_depth: usize,
+    cache: Option<&QueryCache>,
+    control: &SolveControl,
+) -> ActOutcome {
+    act_engine(task, max_depth, cache, Some(control))
 }
 
 /// The incremental rounds engine behind both entry points.
@@ -181,9 +255,34 @@ pub fn act_solve_with_cache(task: &Task, max_depth: usize, cache: &QueryCache) -
 /// instead of rebuilding `Chr^m` from scratch per depth, which turns the
 /// depth loop's total subdivision work from quadratic in the chain into
 /// the chain itself.
-fn act_engine(task: &Task, max_depth: usize, cache: Option<&QueryCache>) -> ActVerdict {
+fn act_engine(
+    task: &Task,
+    max_depth: usize,
+    cache: Option<&QueryCache>,
+    control: Option<&SolveControl>,
+) -> ActOutcome {
+    // An inert control takes the uncontrolled fast path: no stop state,
+    // no per-node checks, byte-identical behavior.
+    let stop_box = control
+        .filter(|c| !c.is_inert())
+        .map(|c| (c, StopState::new(c)));
+    let stop = stop_box.as_ref().map(|(_, s)| s);
+    let mut acc = SolveStats::default();
+    let interrupted = |reason, completed_depths, acc| ActOutcome::Interrupted {
+        reason,
+        completed_depths,
+        stats: acc,
+    };
+    if let Some(stop) = stop {
+        if let Err(reason) = stop.boundary() {
+            return interrupted(reason, 0, acc);
+        }
+    }
     if let Some(obstruction) = connectivity_obstruction(task) {
-        return ActVerdict::ImpossibleByObstruction(obstruction);
+        return ActOutcome::Done {
+            verdict: ActVerdict::ImpossibleByObstruction(obstruction),
+            stats: acc,
+        };
     }
     let compiled = CompiledTask::new(task);
     let key = cache.map(|c| c.key_of(&task.input, &task.input_geometry));
@@ -191,6 +290,17 @@ fn act_engine(task: &Task, max_depth: usize, cache: Option<&QueryCache>) -> ActV
     // keeps its chain inside the QueryCache).
     let mut chain: Option<Arc<ChromaticSubdivision>> = None;
     for depth in 0..=max_depth {
+        // Round boundary: cancellation / deadline / node budget, plus the
+        // round allowance — a `max_rounds` budget below the requested
+        // depth stops the chain honestly instead of silently truncating.
+        if let Some((control, stop)) = &stop_box {
+            if let Err(reason) = stop.boundary() {
+                return interrupted(reason, depth, acc);
+            }
+            if control.budget.max_rounds.is_some_and(|max| depth > max) {
+                return interrupted(Interrupt::RoundBudgetExhausted, depth, acc);
+            }
+        }
         let sd: Arc<ChromaticSubdivision> = match cache {
             Some(c) => c.subdivision_keyed(
                 key.expect("key computed"),
@@ -219,20 +329,50 @@ fn act_engine(task: &Task, max_depth: usize, cache: Option<&QueryCache>) -> ActV
             Some(c) => {
                 let key = key.expect("key computed");
                 let source = || c.propagation_plan(key, depth, &tables, &sd);
-                solve_compiled_with(&tables, &sd.complex, &compiled, None, Some(&source))
+                solve_compiled_interruptible(
+                    &tables,
+                    &sd.complex,
+                    &compiled,
+                    None,
+                    Some(&source),
+                    stop,
+                )
             }
-            None => solve_compiled_with(&tables, &sd.complex, &compiled, None, None),
+            None => solve_compiled_interruptible(&tables, &sd.complex, &compiled, None, None, stop),
         };
-        if let SolveOutcome::Map(map, stats) = outcome {
-            return ActVerdict::Solvable {
-                depth,
-                map,
-                subdivision: sd,
-                stats,
-            };
+        acc.assignments += outcome.stats().assignments;
+        acc.backtracks += outcome.stats().backtracks;
+        acc.prunes += outcome.stats().prunes;
+        acc.component_prunes += outcome.stats().component_prunes;
+        match outcome {
+            SolveOutcome::Map(map, stats) => {
+                // A map found under a tripped stop is still a valid map —
+                // report it (the honest *better* outcome).
+                return ActOutcome::Done {
+                    verdict: ActVerdict::Solvable {
+                        depth,
+                        map,
+                        subdivision: sd,
+                        stats,
+                    },
+                    stats: acc,
+                };
+            }
+            SolveOutcome::Unsatisfiable(_) => {
+                // Under a tripped stop the search unwound early, so
+                // "unsatisfiable" only means "not fully explored".
+                if let Some(stop) = stop {
+                    if let Some(reason) = stop.tripped() {
+                        return interrupted(reason, depth, acc);
+                    }
+                }
+            }
         }
     }
-    ActVerdict::NoMapUpTo(max_depth)
+    ActOutcome::Done {
+        verdict: ActVerdict::NoMapUpTo(max_depth),
+        stats: acc,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,364 @@
+//! Cooperative cancellation and resource budgets for solver queries.
+//!
+//! A long-running solvability query — a deep `act_solve` sweep, a
+//! scenario matrix, a certificate verification — is governed by a
+//! [`SolveControl`]: an optional [`CancelToken`] plus an optional
+//! [`Budget`] (wall-clock deadline, search-node allowance, subdivision
+//! round allowance). The engine checks the control *cooperatively* at
+//! well-defined points:
+//!
+//! * **round boundaries** — before extending the `Chr^m` chain to the
+//!   next depth (see [`crate::act::act_solve_controlled`]);
+//! * **search-split points** — inside the backtracking search's candidate
+//!   loops, including every parallel subtree (see
+//!   `crate::solver::search`).
+//!
+//! A tripped control never corrupts shared state: caches only ever store
+//! fully built artifacts, so an interrupted query leaves every cache
+//! entry as valid as a completed one, and the same query re-submitted
+//! afterwards returns the full answer. The [`Interrupt`] reason reports
+//! *why* the query stopped; partial progress (depths fully searched,
+//! nodes spent) travels alongside it in the caller's outcome type.
+//!
+//! With no token and an unlimited budget (the default), the control is
+//! inert: the engine takes the exact same code paths as the uncontrolled
+//! entry points and returns byte-identical results.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared, clonable cancellation flag.
+///
+/// Cloning shares the flag: any clone's [`CancelToken::cancel`] is
+/// observed by every holder. Cancellation is cooperative (checked at
+/// round boundaries and search-split points) and one-way — a cancelled
+/// token stays cancelled.
+///
+/// # Examples
+///
+/// ```
+/// use gact::control::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent; observed by every clone).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for one query. `None` fields are unlimited.
+///
+/// Budgets compose with [`CancelToken`]s in a [`SolveControl`]; an
+/// exceeded budget interrupts the query at the next checkpoint exactly
+/// like a cancellation, with a budget-specific [`Interrupt`] reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Maximum number of search nodes (vertex assignments) across the
+    /// whole query, all depths and worker subtrees included.
+    pub max_nodes: Option<u64>,
+    /// Maximum subdivision round `m` of `Chr^m` the query may reach.
+    pub max_rounds: Option<usize>,
+}
+
+impl Budget {
+    /// The unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the total search nodes.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Caps the subdivision rounds.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Whether every limit is `None`.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_nodes.is_none() && self.max_rounds.is_none()
+    }
+}
+
+/// Why a controlled query stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The query's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The [`Budget::deadline`] passed.
+    DeadlineExpired,
+    /// The [`Budget::max_nodes`] search-node allowance ran out.
+    NodeBudgetExhausted,
+    /// The [`Budget::max_rounds`] subdivision allowance ran out before
+    /// the requested depth.
+    RoundBudgetExhausted,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExpired => write!(f, "deadline expired"),
+            Interrupt::NodeBudgetExhausted => write!(f, "search-node budget exhausted"),
+            Interrupt::RoundBudgetExhausted => write!(f, "subdivision-round budget exhausted"),
+        }
+    }
+}
+
+/// The full governance handle of one query: an optional cancellation
+/// token plus a budget.
+///
+/// # Examples
+///
+/// ```
+/// use gact::control::{Budget, CancelToken, SolveControl};
+///
+/// let token = CancelToken::new();
+/// let control = SolveControl::new()
+///     .with_token(token.clone())
+///     .with_budget(Budget::unlimited().with_max_nodes(10_000));
+/// assert!(control.check(0).is_ok());
+/// token.cancel();
+/// assert!(control.check(0).is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SolveControl {
+    /// Cooperative cancellation flag, if any.
+    pub token: Option<CancelToken>,
+    /// Resource limits.
+    pub budget: Budget,
+}
+
+impl SolveControl {
+    /// A control with no token and an unlimited budget (inert).
+    pub fn new() -> Self {
+        SolveControl::default()
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether this control can never interrupt anything.
+    pub fn is_inert(&self) -> bool {
+        self.token.is_none() && self.budget.is_unlimited()
+    }
+
+    /// Evaluates the control against `nodes_used` search nodes. Priority:
+    /// cancellation, then deadline, then node budget (so a cancelled
+    /// query reports `Cancelled` even when it is also over budget).
+    pub fn check(&self, nodes_used: u64) -> Result<(), Interrupt> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(Interrupt::DeadlineExpired);
+            }
+        }
+        if let Some(max) = self.budget.max_nodes {
+            if nodes_used >= max {
+                return Err(Interrupt::NodeBudgetExhausted);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared stop state of one in-flight controlled query: the control, the
+/// global node counter every worker subtree flushes into, and the latched
+/// interrupt reason once a checkpoint trips.
+///
+/// The search layer polls [`StopState::should_stop`] inside its candidate
+/// loops; the round loop polls [`StopState::boundary`] between depths.
+/// Once tripped, every poller observes the same latched reason.
+#[derive(Debug)]
+pub(crate) struct StopState<'a> {
+    control: &'a SolveControl,
+    nodes: AtomicU64,
+    /// 0 = not tripped; otherwise `Interrupt` discriminant + 1.
+    tripped: AtomicU8,
+}
+
+/// How many search nodes a worker accumulates locally before flushing to
+/// the shared counter and re-evaluating the (comparatively expensive)
+/// deadline / budget checks.
+pub(crate) const STOP_CHECK_GRAIN: u64 = 64;
+
+fn interrupt_code(i: Interrupt) -> u8 {
+    match i {
+        Interrupt::Cancelled => 1,
+        Interrupt::DeadlineExpired => 2,
+        Interrupt::NodeBudgetExhausted => 3,
+        Interrupt::RoundBudgetExhausted => 4,
+    }
+}
+
+fn code_interrupt(c: u8) -> Option<Interrupt> {
+    match c {
+        1 => Some(Interrupt::Cancelled),
+        2 => Some(Interrupt::DeadlineExpired),
+        3 => Some(Interrupt::NodeBudgetExhausted),
+        4 => Some(Interrupt::RoundBudgetExhausted),
+        _ => None,
+    }
+}
+
+impl<'a> StopState<'a> {
+    pub(crate) fn new(control: &'a SolveControl) -> Self {
+        StopState {
+            control,
+            nodes: AtomicU64::new(0),
+            tripped: AtomicU8::new(0),
+        }
+    }
+
+    /// The latched interrupt, if any checkpoint has tripped.
+    pub(crate) fn tripped(&self) -> Option<Interrupt> {
+        code_interrupt(self.tripped.load(Ordering::Relaxed))
+    }
+
+    fn trip(&self, reason: Interrupt) -> Interrupt {
+        // First tripper wins; later observers read the latched reason.
+        let _ = self.tripped.compare_exchange(
+            0,
+            interrupt_code(reason),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.tripped().unwrap_or(reason)
+    }
+
+    /// Adds externally counted search nodes (e.g. a bypassed tiny
+    /// instance's assignments) to the global counter.
+    pub(crate) fn add_nodes(&self, delta: u64) {
+        if delta > 0 {
+            self.nodes.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Search-layer checkpoint: flushes `delta` freshly spent nodes and
+    /// re-evaluates the control. Returns the latched interrupt if the
+    /// query should stop.
+    pub(crate) fn note_and_check(&self, delta: u64) -> Option<Interrupt> {
+        if let Some(reason) = self.tripped() {
+            return Some(reason);
+        }
+        let total = self.nodes.fetch_add(delta, Ordering::Relaxed) + delta;
+        match self.control.check(total) {
+            Ok(()) => None,
+            Err(reason) => Some(self.trip(reason)),
+        }
+    }
+
+    /// Round-boundary checkpoint (no new nodes to flush).
+    pub(crate) fn boundary(&self) -> Result<(), Interrupt> {
+        match self.note_and_check(0) {
+            None => Ok(()),
+            Some(reason) => Err(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn control_priority_cancel_over_budget() {
+        let token = CancelToken::new();
+        let control = SolveControl::new()
+            .with_token(token.clone())
+            .with_budget(Budget::unlimited().with_max_nodes(1));
+        assert_eq!(control.check(5), Err(Interrupt::NodeBudgetExhausted));
+        token.cancel();
+        assert_eq!(control.check(5), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips() {
+        let control = SolveControl::new().with_budget(
+            Budget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+        );
+        assert_eq!(control.check(0), Err(Interrupt::DeadlineExpired));
+        assert!(!control.is_inert());
+    }
+
+    #[test]
+    fn inert_control_never_trips() {
+        let control = SolveControl::new();
+        assert!(control.is_inert());
+        assert!(control.check(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn stop_state_latches_first_reason() {
+        let control = SolveControl::new().with_budget(Budget::unlimited().with_max_nodes(10));
+        let stop = StopState::new(&control);
+        assert!(stop.tripped().is_none());
+        assert!(stop.note_and_check(5).is_none());
+        assert_eq!(stop.note_and_check(5), Some(Interrupt::NodeBudgetExhausted));
+        // Latched: later checks report the same reason without recounting.
+        assert_eq!(stop.tripped(), Some(Interrupt::NodeBudgetExhausted));
+        assert_eq!(stop.boundary(), Err(Interrupt::NodeBudgetExhausted));
+    }
+}

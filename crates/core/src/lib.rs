@@ -11,15 +11,20 @@
 pub mod act;
 pub mod approx;
 pub mod cache;
+pub mod control;
 pub mod gact;
 pub mod lt;
 pub mod protocol;
 pub mod render;
 pub mod solver;
 
-pub use act::{act_solve, act_solve_with_cache, connectivity_obstruction, ActVerdict, Obstruction};
+pub use act::{
+    act_solve, act_solve_controlled, act_solve_with_cache, connectivity_obstruction, ActOutcome,
+    ActVerdict, Obstruction,
+};
 pub use approx::{is_simplicial_approximation, simplicial_approximation, Approximation};
 pub use cache::QueryCache;
+pub use control::{Budget, CancelToken, Interrupt, SolveControl};
 pub use gact::{certificate_from_act_map, run_positions, GactCertificate};
 pub use lt::{build_lt_showcase, radial_projection, LtShowcase};
 pub use protocol::{verify_protocol_on_runs, CertificateProtocol, RunVerification};

@@ -68,6 +68,8 @@ use gact_chromatic::{ChromaticComplex, SimplicialMap};
 use gact_tasks::{CompiledTask, Task};
 use gact_topology::{Complex, Simplex, VertexId};
 
+use crate::control::StopState;
+
 pub use domains::{prepare_domain, DomainTables};
 pub use propagate::{prepare_plan, PropagationPlan};
 
@@ -217,7 +219,7 @@ pub fn solve_compiled(
     compiled: &CompiledTask<'_>,
     domain_hint: Option<&DomainHint>,
 ) -> SolveOutcome {
-    solve_with_plan(tables, domain, compiled, domain_hint, None, plan)
+    solve_with_plan(tables, domain, compiled, domain_hint, None, plan, None)
 }
 
 /// [`solve_compiled`] with a *lazy* plan source: the source is consulted
@@ -233,11 +235,45 @@ pub fn solve_compiled_with(
     domain_hint: Option<&DomainHint>,
     plan_source: Option<&(dyn Fn() -> Arc<PropagationPlan> + '_)>,
 ) -> SolveOutcome {
-    solve_with_plan(tables, domain, compiled, domain_hint, plan_source, None)
+    solve_with_plan(
+        tables,
+        domain,
+        compiled,
+        domain_hint,
+        plan_source,
+        None,
+        None,
+    )
+}
+
+/// [`solve_compiled_with`] under a controlled query's stop state: the
+/// search layer polls the stop at its split points and unwinds early when
+/// it trips. The caller is responsible for interpreting an
+/// `Unsatisfiable` outcome under a tripped stop as *interrupted*, not
+/// exhausted (see [`crate::act::act_solve_controlled`]). With `stop:
+/// None` this is exactly [`solve_compiled_with`].
+pub(crate) fn solve_compiled_interruptible(
+    tables: &DomainTables,
+    domain: &ChromaticComplex,
+    compiled: &CompiledTask<'_>,
+    domain_hint: Option<&DomainHint>,
+    plan_source: Option<&(dyn Fn() -> Arc<PropagationPlan> + '_)>,
+    stop: Option<&StopState<'_>>,
+) -> SolveOutcome {
+    solve_with_plan(
+        tables,
+        domain,
+        compiled,
+        domain_hint,
+        plan_source,
+        None,
+        stop,
+    )
 }
 
 /// The engine body behind the staged entry points: bypass check, bucket
 /// stage, (lazy) plan resolution, propagation, hint ordering, search.
+#[allow(clippy::too_many_arguments)]
 fn solve_with_plan(
     tables: &DomainTables,
     domain: &ChromaticComplex,
@@ -245,6 +281,7 @@ fn solve_with_plan(
     domain_hint: Option<&DomainHint>,
     plan_source: Option<&(dyn Fn() -> Arc<PropagationPlan> + '_)>,
     ready_plan: Option<&PropagationPlan>,
+    stop: Option<&StopState<'_>>,
 ) -> SolveOutcome {
     let task = compiled.task();
     let n = tables.vertices.len();
@@ -252,8 +289,15 @@ fn solve_with_plan(
     // Small instances skip propagation outright (see
     // [`PROPAGATION_MIN_CONSTRAINTS`]): the chronological engine answers
     // identically and its setup is a fraction of the class machinery's.
+    // They also run to completion within the round — interruption
+    // granularity for controlled queries is the round boundary here, and
+    // their node spend still lands in the budget accounting.
     if tables.constraint_count() < PROPAGATION_MIN_CONSTRAINTS {
-        return reference::solve_prepared_reference(tables, domain, task, domain_hint);
+        let outcome = reference::solve_prepared_reference(tables, domain, task, domain_hint);
+        if let Some(stop) = stop {
+            stop.add_nodes(outcome.stats().assignments);
+        }
+        return outcome;
     }
 
     // Bucket stage before any plan exists: an empty initial domain
@@ -348,6 +392,7 @@ fn solve_with_plan(
         &images,
         &order,
         stats,
+        stop,
     );
     if let Some(assignment) = found {
         let map = SimplicialMap::new(

@@ -107,6 +107,7 @@ pub fn solve_prepared_reference(
         &images,
         &order,
         SolveStats::default(),
+        None,
     );
     if let Some(assignment) = found {
         let map = SimplicialMap::new(

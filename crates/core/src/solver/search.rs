@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gact_topology::{Complex, Simplex, VertexId};
 
+use crate::control::{StopState, STOP_CHECK_GRAIN};
+
 use super::domains::MAX_CARD;
 use super::SolveStats;
 
@@ -48,6 +50,14 @@ pub(crate) struct Search<'a> {
     /// regardless of what this one would find, so aborting cannot change
     /// the outcome. `None` in the sequential solver.
     pub abort: Option<(&'a AtomicUsize, usize)>,
+    /// Cooperative interruption for controlled queries (cancellation /
+    /// deadline / node budget — see [`crate::control`]). `None` for
+    /// uncontrolled queries, whose candidate loops then pay nothing.
+    pub stop: Option<&'a StopState<'a>>,
+    /// Nodes already flushed to `stop`'s shared counter (flushes happen
+    /// every [`STOP_CHECK_GRAIN`] assignments, so the expensive deadline
+    /// check runs on a coarse grain).
+    pub flushed: u64,
 }
 
 impl Search<'_> {
@@ -104,13 +114,31 @@ impl Search<'_> {
             .is_some_and(|(best, index)| best.load(Ordering::Relaxed) < index)
     }
 
+    /// Controlled-query checkpoint (a *search-split point*): cheap latched
+    /// probe every iteration, full flush-and-evaluate every
+    /// [`STOP_CHECK_GRAIN`] assignments. An interrupted search unwinds
+    /// exactly like an aborted parallel subtree; the caller distinguishes
+    /// interruption from exhaustion via the stop state's latched reason.
+    fn interrupted(&mut self) -> bool {
+        let Some(stop) = self.stop else { return false };
+        if stop.tripped().is_some() {
+            return true;
+        }
+        let delta = self.stats.assignments - self.flushed;
+        if delta < STOP_CHECK_GRAIN {
+            return false;
+        }
+        self.flushed = self.stats.assignments;
+        stop.note_and_check(delta).is_some()
+    }
+
     pub(crate) fn backtrack(&mut self, depth: usize) -> bool {
         if depth == self.order.len() {
             return true;
         }
         let vi = self.order[depth] as usize;
         for ci in 0..self.domains[vi].len() {
-            if self.cancelled() {
+            if self.cancelled() || self.interrupted() {
                 return false;
             }
             let w = self.domains[vi][ci];
@@ -177,6 +205,7 @@ pub(crate) fn run_search(
     images: &[&Complex],
     order: &[u32],
     base_stats: SolveStats,
+    stop: Option<&StopState<'_>>,
 ) -> (Option<Vec<VertexId>>, SolveStats) {
     let n = order.len();
     let threads = gact_parallel::current_threads();
@@ -191,13 +220,18 @@ pub(crate) fn run_search(
             assignment: vec![UNASSIGNED; n],
             stats: base_stats,
             abort: None,
+            stop,
+            flushed: base_stats.assignments,
         };
         let found = search.backtrack(0);
+        if let Some(stop) = stop {
+            stop.add_nodes(search.stats.assignments - search.flushed);
+        }
         let stats = search.stats;
         (found.then_some(search.assignment), stats)
     } else {
         parallel_search(
-            domains, dense, simplices, per_vertex, images, order, base_stats,
+            domains, dense, simplices, per_vertex, images, order, base_stats, stop,
         )
     }
 }
@@ -221,6 +255,7 @@ fn parallel_search(
     images: &[&Complex],
     order: &[u32],
     base_stats: SolveStats,
+    stop: Option<&StopState<'_>>,
 ) -> (Option<Vec<VertexId>>, SolveStats) {
     let n = order.len();
     let mut prefix = Search {
@@ -233,6 +268,8 @@ fn parallel_search(
         assignment: vec![UNASSIGNED; n],
         stats: base_stats,
         abort: None,
+        stop,
+        flushed: base_stats.assignments,
     };
     // Forced prefix: a variable with a single candidate either takes it or
     // proves unsatisfiability (there is nothing earlier to backtrack to —
@@ -244,9 +281,16 @@ fn parallel_search(
         prefix.assignment[vi] = domains[vi][0];
         if !prefix.consistent(vi) {
             prefix.stats.backtracks += 1;
+            if let Some(stop) = stop {
+                stop.add_nodes(prefix.stats.assignments - prefix.flushed);
+            }
             return (None, prefix.stats);
         }
         depth += 1;
+    }
+    if let Some(stop) = stop {
+        stop.add_nodes(prefix.stats.assignments - prefix.flushed);
+        prefix.flushed = prefix.stats.assignments;
     }
     if depth == n {
         return (Some(prefix.assignment), prefix.stats);
@@ -271,10 +315,16 @@ fn parallel_search(
                 assignment: base_assignment.clone(),
                 stats: SolveStats::default(),
                 abort: Some((best, ci)),
+                stop,
+                flushed: 0,
             };
             search.stats.assignments += 1;
             search.assignment[branch_vi] = candidates[ci];
-            if search.consistent(branch_vi) && search.backtrack(depth + 1) {
+            let won = search.consistent(branch_vi) && search.backtrack(depth + 1);
+            if let Some(stop) = stop {
+                stop.add_nodes(search.stats.assignments - search.flushed);
+            }
+            if won {
                 best.fetch_min(ci, Ordering::SeqCst);
                 (Some(search.assignment), search.stats)
             } else {

@@ -1,0 +1,165 @@
+//! The engine's structured error taxonomy.
+//!
+//! Every fallible engine operation returns [`EngineError`] instead of
+//! panicking. The taxonomy is deliberately small and stable:
+//!
+//! * [`EngineError::InvalidSpec`] — a request parameter is out of range;
+//!   the error names the offending field. Raised at *request
+//!   construction*, so an invalid query never reaches the engine.
+//! * [`EngineError::BudgetExceeded`] — a request asks for more than the
+//!   engine (or its own budget) allows, or a governed operation ran out
+//!   of budget where no partial outcome exists (see
+//!   [`crate::Engine::verify`]).
+//! * [`EngineError::Cancelled`] — the request's
+//!   [`gact::control::CancelToken`] was already cancelled at submission,
+//!   or tripped inside an operation with no partial outcome.
+//! * [`EngineError::Internal`] — a deterministic construction failure
+//!   inside the pipeline (e.g. a certificate build rejecting its
+//!   parameters); never a panic.
+//!
+//! Queries interrupted *mid-flight* with partial progress are **not**
+//! errors: [`crate::SolveReply`] and [`crate::MatrixReply`] report them
+//! as honest `Interrupted` outcomes instead.
+
+use gact::control::Interrupt;
+
+/// A structured engine failure: invalid spec (naming the offending
+/// field), budget exceeded, cancelled, or a deterministic internal
+/// construction failure — never a panic. Mid-flight interruptions with
+/// partial progress are reported as `Interrupted` *outcomes* on the
+/// reply types instead.
+///
+/// # Examples
+///
+/// ```
+/// use gact_engine::{EngineError, SolveRequest};
+/// use gact_scenarios::TaskSpec;
+///
+/// // k = 0 set agreement is rejected at request construction, naming
+/// // the offending field:
+/// let err = SolveRequest::new(
+///     TaskSpec::SetAgreement { n: 1, n_values: 2, k: 0 },
+///     1,
+/// )
+/// .unwrap_err();
+/// let EngineError::InvalidSpec { field, .. } = &err else {
+///     panic!("expected InvalidSpec, got {err}");
+/// };
+/// assert_eq!(field, "k");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A request parameter is out of range; `field` names it.
+    InvalidSpec {
+        /// The offending request field (e.g. `"k"`, `"t"`, `"family"`).
+        field: String,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// A limit was exceeded: a request beyond the engine's hard ceilings,
+    /// or a governed operation that ran out of budget with no partial
+    /// outcome to report.
+    BudgetExceeded {
+        /// The exhausted resource (e.g. `"depth"`, `"deadline"`,
+        /// `"search nodes"`).
+        resource: &'static str,
+        /// Limit details.
+        message: String,
+    },
+    /// The request's cancellation token was cancelled.
+    Cancelled,
+    /// A deterministic internal construction failure (never a panic).
+    Internal(String),
+}
+
+impl EngineError {
+    /// Convenience constructor for [`EngineError::InvalidSpec`].
+    pub fn invalid(field: impl Into<String>, message: impl Into<String>) -> Self {
+        EngineError::InvalidSpec {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Maps a mid-operation [`Interrupt`] onto the error taxonomy, for
+    /// operations that cannot report partial outcomes.
+    pub(crate) fn from_interrupt(reason: Interrupt) -> Self {
+        match reason {
+            Interrupt::Cancelled => EngineError::Cancelled,
+            Interrupt::DeadlineExpired => EngineError::BudgetExceeded {
+                resource: "deadline",
+                message: "the request's wall-clock deadline expired".into(),
+            },
+            Interrupt::NodeBudgetExhausted => EngineError::BudgetExceeded {
+                resource: "search nodes",
+                message: "the request's search-node budget ran out".into(),
+            },
+            Interrupt::RoundBudgetExhausted => EngineError::BudgetExceeded {
+                resource: "subdivision rounds",
+                message: "the request's subdivision-round budget ran out".into(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidSpec { field, message } => {
+                write!(f, "invalid `{field}`: {message}")
+            }
+            EngineError::BudgetExceeded { resource, message } => {
+                write!(f, "budget exceeded ({resource}): {message}")
+            }
+            EngineError::Cancelled => write!(f, "request cancelled"),
+            EngineError::Internal(message) => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<gact_tasks::SpecError> for EngineError {
+    fn from(e: gact_tasks::SpecError) -> Self {
+        EngineError::InvalidSpec {
+            field: e.field.to_string(),
+            message: e.message,
+        }
+    }
+}
+
+impl From<gact_models::ModelSpecError> for EngineError {
+    fn from(e: gact_models::ModelSpecError) -> Self {
+        EngineError::InvalidSpec {
+            field: e.field.to_string(),
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = EngineError::invalid("t", "t must be at most n");
+        assert_eq!(e.to_string(), "invalid `t`: t must be at most n");
+        assert_eq!(EngineError::Cancelled.to_string(), "request cancelled");
+    }
+
+    #[test]
+    fn interrupts_map_onto_the_taxonomy() {
+        assert_eq!(
+            EngineError::from_interrupt(Interrupt::Cancelled),
+            EngineError::Cancelled
+        );
+        assert!(matches!(
+            EngineError::from_interrupt(Interrupt::DeadlineExpired),
+            EngineError::BudgetExceeded {
+                resource: "deadline",
+                ..
+            }
+        ));
+    }
+}

@@ -36,4 +36,4 @@ pub use model::{
 };
 pub use projection::{affine_projection, canonical_coloring_at_depth};
 pub use sampler::{enumerate_runs, RunSampler, SamplerConfig};
-pub use spec::ModelSpec;
+pub use spec::{ModelSpec, ModelSpecError};

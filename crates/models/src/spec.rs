@@ -55,7 +55,84 @@ pub enum ModelSpec {
     },
 }
 
+/// A rejected model parameter: which field was out of range and why.
+///
+/// Returned by [`ModelSpec::validate`]; mirrors `gact_tasks::SpecError`
+/// (the crates are siblings, so the type is duplicated rather than
+/// shared).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelSpecError {
+    /// Name of the offending parameter (e.g. `"t"`, `"k"`, `"n_procs"`).
+    pub field: &'static str,
+    /// Human-readable explanation of the constraint that failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ModelSpecError {}
+
 impl ModelSpec {
+    /// Validates this spec against a process count *before* building:
+    /// every rejected combination here would instantiate a degenerate or
+    /// panicking model.
+    ///
+    /// # Errors
+    ///
+    /// * `n_procs` — zero processes;
+    /// * `t` — resilience at or above the process count (`Res_t` needs
+    ///   `t < n_procs`; `t = n_procs − 1` is already wait-free);
+    /// * `k` — obstruction-freedom with no fast process (`k = 0`) or more
+    ///   fast processes than exist (`k > n_procs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gact_models::ModelSpec;
+    ///
+    /// assert!(ModelSpec::TResilient { t: 1 }.validate(3).is_ok());
+    /// let err = ModelSpec::ObstructionFree { k: 0 }.validate(3).unwrap_err();
+    /// assert_eq!(err.field, "k");
+    /// ```
+    pub fn validate(&self, n_procs: usize) -> Result<(), ModelSpecError> {
+        let invalid = |field, message: String| Err(ModelSpecError { field, message });
+        if n_procs == 0 {
+            return invalid("n_procs", "a model needs at least one process".into());
+        }
+        match *self {
+            ModelSpec::WaitFree => Ok(()),
+            ModelSpec::TResilient { t } | ModelSpec::GeometricTResilient { t } => {
+                if t >= n_procs {
+                    invalid(
+                        "t",
+                        format!("resilience t = {t} must be below the process count {n_procs}"),
+                    )
+                } else {
+                    Ok(())
+                }
+            }
+            ModelSpec::ObstructionFree { k } | ModelSpec::GeometricObstructionFree { k } => {
+                if k == 0 {
+                    invalid(
+                        "k",
+                        "obstruction-freedom needs at least one fast process".into(),
+                    )
+                } else if k > n_procs {
+                    invalid(
+                        "k",
+                        format!("k = {k} fast processes exceed the process count {n_procs}"),
+                    )
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Instantiates the concrete model over `n_procs` processes.
     pub fn build(&self, n_procs: usize) -> Box<dyn SubIisModel + Send + Sync> {
         match *self {

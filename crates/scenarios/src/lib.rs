@@ -50,8 +50,10 @@ pub mod report;
 pub mod spec;
 
 pub use matrix::{
-    evaluate_cell, run_matrix, run_matrix_cold, Cell, CellResult, MatrixReport, SolvableBy, Verdict,
+    evaluate_cell, evaluate_cell_controlled, run_matrix, run_matrix_cold, run_matrix_controlled,
+    Cell, CellOutcome, CellResult, ControlledCellResult, ControlledMatrixReport, MatrixReport,
+    SolvableBy, Verdict,
 };
 pub use registry::{cells_for, families, Family};
-pub use report::{count_cells, to_json};
+pub use report::{cache_stats_json, count_cells, solve_stats_json, to_json, to_json_controlled};
 pub use spec::TaskSpec;

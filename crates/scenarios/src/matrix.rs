@@ -35,7 +35,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gact::cache::QueryCache;
-use gact::{act_solve_with_cache, verify_protocol_on_runs, ActVerdict};
+use gact::control::{Interrupt, SolveControl};
+use gact::solver::SolveStats;
+use gact::{act_solve_controlled, verify_protocol_on_runs, ActOutcome, ActVerdict};
 use gact_chromatic::CacheStats;
 use gact_iis::{execute, InputAssignment, ProcessId};
 use gact_models::{enumerate_runs, ModelSpec};
@@ -48,6 +50,9 @@ use crate::spec::TaskSpec;
 const CERT_EXTRA_STAGES: usize = 3;
 /// Round bound when verifying certificate protocols on enumerated runs.
 const CERT_VERIFY_ROUNDS: usize = 14;
+/// Runs verified per governance checkpoint in the certificate path (the
+/// batch is chunked so a tripped control stops mid-verification).
+const CERT_VERIFY_CHUNK: usize = 8;
 /// Fixed proposal values for commit–adopt cells (per process id).
 const CA_PROPOSALS: [u32; 8] = [4, 9, 4, 7, 2, 9, 1, 4];
 
@@ -206,41 +211,14 @@ impl MatrixReport {
 /// thread count: the underlying solver, certificate, and protocol checks
 /// are all order-pinned, and cached subdivisions are structurally
 /// identical to cold ones.
+///
+/// One implementation serves both entry points: this is
+/// [`evaluate_cell_controlled`] under an inert control (which takes the
+/// uncontrolled fast paths throughout and can never interrupt).
 pub fn evaluate_cell(cell: &Cell, cache: &QueryCache) -> Verdict {
-    if let TaskSpec::CommitAdopt { n } = cell.task {
-        return evaluate_commit_adopt(n, &cell.model);
-    }
-    let task = cell
-        .task
-        .build_task(cache)
-        .expect("non-protocol specs build tasks");
-    match act_solve_with_cache(&task, cell.max_depth, cache) {
-        ActVerdict::Solvable { depth, .. } => {
-            // A wait-free protocol runs in any sub-IIS model M ⊆ R.
-            Verdict::Solvable(SolvableBy::WaitFreeMap { depth })
-        }
-        ActVerdict::ImpossibleByObstruction(o) if cell.model.is_full() => Verdict::Unsolvable {
-            obstruction: o.to_string(),
-        },
-        other => {
-            // Model-specific construction: Proposition 9.2 builds a
-            // certificate for L_t in Res_t.
-            if let (Some(model_t), TaskSpec::Lt { n, t }) = (cell.model.resilience(), cell.task) {
-                if model_t == t && t >= 1 && t <= n {
-                    return evaluate_lt_certificate(n, t, &cell.model, cache);
-                }
-            }
-            let tried = match other {
-                ActVerdict::ImpossibleByObstruction(o) => {
-                    format!("wait-free obstruction ({o}); no decision procedure for this model")
-                }
-                _ => format!(
-                    "no wait-free map up to depth {}; no certificate constructor for this model",
-                    cell.max_depth
-                ),
-            };
-            Verdict::Unknown { detail: tried }
-        }
+    match evaluate_cell_controlled(cell, cache, &SolveControl::new()).0 {
+        CellOutcome::Decided(v) => v,
+        CellOutcome::Interrupted(_) => unreachable!("an inert control cannot interrupt"),
     }
 }
 
@@ -248,25 +226,42 @@ pub fn evaluate_cell(cell: &Cell, cache: &QueryCache) -> Verdict {
 /// the chromatic approximation for `L_t` (memoized in the sweep cache —
 /// several models typically verify the same witness), then verify the
 /// extracted protocol on every enumerated run of the (t-resilient) model.
-fn evaluate_lt_certificate(n: usize, t: usize, model: &ModelSpec, cache: &QueryCache) -> Verdict {
+///
+/// The witness build is one cached construction (never stored partially);
+/// the run-verification batch is chunked with a control check between
+/// chunks, so a tripped control stops mid-batch. Chunking does not change
+/// the result: every run is verified independently, and the reports are
+/// aggregated identically to one whole-batch call.
+fn evaluate_lt_certificate(
+    n: usize,
+    t: usize,
+    model: &ModelSpec,
+    cache: &QueryCache,
+    control: &SolveControl,
+) -> Result<Verdict, Interrupt> {
+    control.check(0)?;
     let show = match cache.lt_showcase(n, t, CERT_EXTRA_STAGES) {
         Ok(show) => show,
         Err(e) => {
-            return Verdict::Unknown {
+            return Ok(Verdict::Unknown {
                 detail: format!("certificate construction failed: {e}"),
-            }
+            })
         }
     };
     let built = model.build(n + 1);
     let runs = built.filter_batch(enumerate_runs(n + 1, 0));
-    let reports = verify_protocol_on_runs(
-        &show.certificate,
-        &show.affine.task,
-        &runs,
-        CERT_VERIFY_ROUNDS,
-    );
-    let bad = reports.iter().filter(|r| !r.violations.is_empty()).count();
-    if bad == 0 {
+    let mut bad = 0usize;
+    for chunk in runs.chunks(CERT_VERIFY_CHUNK) {
+        control.check(0)?;
+        let reports = verify_protocol_on_runs(
+            &show.certificate,
+            &show.affine.task,
+            chunk,
+            CERT_VERIFY_ROUNDS,
+        );
+        bad += reports.iter().filter(|r| !r.violations.is_empty()).count();
+    }
+    Ok(if bad == 0 {
         Verdict::Solvable(SolvableBy::ResilientCertificate {
             bands: show.band_sizes.len(),
             runs_verified: runs.len(),
@@ -278,19 +273,210 @@ fn evaluate_lt_certificate(n: usize, t: usize, model: &ModelSpec, cache: &QueryC
                 runs.len()
             ),
         }
+    })
+}
+
+/// Runs a batch of cells against one shared cache, fanning cells across
+/// the worker pool. Results come back in cell order and are deterministic
+/// for every thread count; only the wall times vary.
+///
+/// Like [`evaluate_cell`], this delegates to the controlled driver with
+/// an inert control — one implementation, two entry points.
+pub fn run_matrix(cells: &[Cell], cache: &QueryCache) -> MatrixReport {
+    let controlled = run_matrix_controlled(cells, cache, &SolveControl::new());
+    MatrixReport {
+        results: controlled
+            .results
+            .into_iter()
+            .map(|r| CellResult {
+                cell: r.cell,
+                verdict: match r.outcome {
+                    CellOutcome::Decided(v) => v,
+                    CellOutcome::Interrupted(_) => {
+                        unreachable!("an inert control cannot interrupt")
+                    }
+                },
+                wall: r.wall,
+            })
+            .collect(),
+        total_wall: controlled.total_wall,
+        subdivision_stats: controlled.subdivision_stats,
+        table_stats: controlled.table_stats,
+        plan_stats: controlled.plan_stats,
     }
 }
 
-/// Commit–adopt cells: execute the two-round protocol over the 2-round
-/// prefix of every enumerated model run and check validity / agreement /
-/// convergence on the outputs.
-fn evaluate_commit_adopt(n: usize, model: &ModelSpec) -> Verdict {
+/// The outcome of one cell under a *controlled* sweep: a completed
+/// verdict, or an honest interruption marker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The cell ran to completion; the verdict is exactly what
+    /// [`evaluate_cell`] would have produced.
+    Decided(Verdict),
+    /// The sweep's [`SolveControl`] tripped before (or while) this cell
+    /// was evaluated; no verdict is claimed for it.
+    Interrupted(Interrupt),
+}
+
+impl CellOutcome {
+    /// Machine-readable outcome class: the verdict's
+    /// [`Verdict::kind`], or `"interrupted"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellOutcome::Decided(v) => v.kind(),
+            CellOutcome::Interrupted(_) => "interrupted",
+        }
+    }
+
+    /// Human-readable one-line explanation.
+    pub fn detail(&self) -> String {
+        match self {
+            CellOutcome::Decided(v) => v.detail(),
+            CellOutcome::Interrupted(reason) => format!("interrupted: {reason}"),
+        }
+    }
+
+    /// The completed verdict, if any.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            CellOutcome::Decided(v) => Some(v),
+            CellOutcome::Interrupted(_) => None,
+        }
+    }
+}
+
+/// One evaluated cell of a controlled sweep.
+#[derive(Clone, Debug)]
+pub struct ControlledCellResult {
+    /// The cell evaluated.
+    pub cell: Cell,
+    /// Its outcome (verdict or interruption).
+    pub outcome: CellOutcome,
+    /// Wall time of the evaluation (non-deterministic).
+    pub wall: Duration,
+}
+
+/// A controlled matrix run: per-cell outcomes in cell order, cache
+/// counter deltas, aggregate solver effort, and the interruption count.
+#[derive(Clone, Debug)]
+pub struct ControlledMatrixReport {
+    /// Outcomes, in the order the cells were given.
+    pub results: Vec<ControlledCellResult>,
+    /// Total wall time of the batch.
+    pub total_wall: Duration,
+    /// Subdivision-cache counters accumulated over the sweep.
+    pub subdivision_stats: CacheStats,
+    /// Domain-table-cache counters accumulated over the sweep.
+    pub table_stats: CacheStats,
+    /// Propagation-plan-cache counters accumulated over the sweep.
+    pub plan_stats: CacheStats,
+    /// Solver effort accumulated over every solvability cell (search
+    /// nodes, backtracks, propagation prunes); varies with thread count,
+    /// unlike the outcomes.
+    pub solver: SolveStats,
+    /// Number of cells whose outcome is [`CellOutcome::Interrupted`].
+    pub interrupted: usize,
+}
+
+impl ControlledMatrixReport {
+    /// Count of results whose outcome kind equals `kind` (verdict kinds
+    /// plus `"interrupted"`).
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.outcome.kind() == kind)
+            .count()
+    }
+}
+
+/// [`evaluate_cell`] under a [`SolveControl`]: the control is checked
+/// before the cell starts, at every `act` round boundary / search-split
+/// point, and between protocol-verification runs, so a tripped control
+/// returns [`CellOutcome::Interrupted`] promptly instead of running the
+/// cell to completion. Also returns the solver effort the cell consumed.
+///
+/// With an inert control the outcome is always `Decided` and the verdict
+/// is byte-identical to [`evaluate_cell`]'s for every input and thread
+/// count (pinned by the engine equivalence tests). An interrupted cell
+/// never poisons `cache` — only fully built artifacts are stored, so
+/// re-running the cell afterwards yields the full verdict.
+pub fn evaluate_cell_controlled(
+    cell: &Cell,
+    cache: &QueryCache,
+    control: &SolveControl,
+) -> (CellOutcome, SolveStats) {
+    if let Err(reason) = control.check(0) {
+        return (CellOutcome::Interrupted(reason), SolveStats::default());
+    }
+    if let TaskSpec::CommitAdopt { n } = cell.task {
+        return (
+            evaluate_commit_adopt_controlled(n, &cell.model, control),
+            SolveStats::default(),
+        );
+    }
+    let task = cell
+        .task
+        .build_task(cache)
+        .expect("non-protocol specs build tasks");
+    let outcome = act_solve_controlled(&task, cell.max_depth, Some(cache), control);
+    let stats = outcome.stats();
+    let verdict = match outcome {
+        ActOutcome::Interrupted { reason, .. } => return (CellOutcome::Interrupted(reason), stats),
+        ActOutcome::Done { verdict, .. } => verdict,
+    };
+    match verdict {
+        ActVerdict::Solvable { depth, .. } => (
+            CellOutcome::Decided(Verdict::Solvable(SolvableBy::WaitFreeMap { depth })),
+            stats,
+        ),
+        ActVerdict::ImpossibleByObstruction(o) if cell.model.is_full() => (
+            CellOutcome::Decided(Verdict::Unsolvable {
+                obstruction: o.to_string(),
+            }),
+            stats,
+        ),
+        other => {
+            if let (Some(model_t), TaskSpec::Lt { n, t }) = (cell.model.resilience(), cell.task) {
+                if model_t == t && t >= 1 && t <= n {
+                    return match evaluate_lt_certificate(n, t, &cell.model, cache, control) {
+                        Ok(verdict) => (CellOutcome::Decided(verdict), stats),
+                        Err(reason) => (CellOutcome::Interrupted(reason), stats),
+                    };
+                }
+            }
+            let tried = match other {
+                ActVerdict::ImpossibleByObstruction(o) => {
+                    format!("wait-free obstruction ({o}); no decision procedure for this model")
+                }
+                _ => format!(
+                    "no wait-free map up to depth {}; no certificate constructor for this model",
+                    cell.max_depth
+                ),
+            };
+            (
+                CellOutcome::Decided(Verdict::Unknown { detail: tried }),
+                stats,
+            )
+        }
+    }
+}
+
+/// Commit–adopt under control: the per-run loop checks the control
+/// between runs, so a tripped control stops mid-batch.
+fn evaluate_commit_adopt_controlled(
+    n: usize,
+    model: &ModelSpec,
+    control: &SolveControl,
+) -> CellOutcome {
     let n_procs = n + 1;
     let built = model.build(n_procs);
     let runs = built.filter_batch(enumerate_runs(n_procs, 0));
     let mut checked = 0usize;
     let mut violations = 0usize;
     for run in &runs {
+        if let Err(reason) = control.check(0) {
+            return CellOutcome::Interrupted(reason);
+        }
         let schedule = run.rounds_prefix(2);
         let mut ia = InputAssignment::standard_corners(n);
         for p in run.part().iter() {
@@ -308,16 +494,22 @@ fn evaluate_commit_adopt(n: usize, model: &ModelSpec) -> Verdict {
         checked += 1;
         violations += check_commit_adopt(&proposals, &outputs).len();
     }
-    Verdict::ProtocolVerified {
+    CellOutcome::Decided(Verdict::ProtocolVerified {
         runs: checked,
         violations,
-    }
+    })
 }
 
-/// Runs a batch of cells against one shared cache, fanning cells across
-/// the worker pool. Results come back in cell order and are deterministic
-/// for every thread count; only the wall times vary.
-pub fn run_matrix(cells: &[Cell], cache: &QueryCache) -> MatrixReport {
+/// [`run_matrix`] under a [`SolveControl`]: fans cells across the worker
+/// pool like [`run_matrix`], checking the control per cell (and inside
+/// each cell's solver rounds). Cells reached after the control trips come
+/// back [`CellOutcome::Interrupted`] in order; completed cells carry
+/// verdicts byte-identical to an uncontrolled run's.
+pub fn run_matrix_controlled(
+    cells: &[Cell],
+    cache: &QueryCache,
+    control: &SolveControl,
+) -> ControlledMatrixReport {
     let diff = |after: CacheStats, before: CacheStats| CacheStats {
         hits: after.hits - before.hits,
         misses: after.misses - before.misses,
@@ -329,19 +521,39 @@ pub fn run_matrix(cells: &[Cell], cache: &QueryCache) -> MatrixReport {
     let t0 = Instant::now();
     let results = gact_parallel::par_map(cells, |cell| {
         let t = Instant::now();
-        let verdict = evaluate_cell(cell, cache);
-        CellResult {
-            cell: cell.clone(),
-            verdict,
-            wall: t.elapsed(),
-        }
+        let (outcome, stats) = evaluate_cell_controlled(cell, cache, control);
+        (
+            ControlledCellResult {
+                cell: cell.clone(),
+                outcome,
+                wall: t.elapsed(),
+            },
+            stats,
+        )
     });
-    MatrixReport {
+    let mut solver = SolveStats::default();
+    let mut interrupted = 0usize;
+    let results: Vec<ControlledCellResult> = results
+        .into_iter()
+        .map(|(r, s)| {
+            solver.assignments += s.assignments;
+            solver.backtracks += s.backtracks;
+            solver.prunes += s.prunes;
+            solver.component_prunes += s.component_prunes;
+            if matches!(r.outcome, CellOutcome::Interrupted(_)) {
+                interrupted += 1;
+            }
+            r
+        })
+        .collect();
+    ControlledMatrixReport {
         results,
         total_wall: t0.elapsed(),
         subdivision_stats: diff(cache.subdivisions().stats(), sub_before),
         table_stats: diff(cache.table_stats(), tab_before),
         plan_stats: diff(cache.plan_stats(), plan_before),
+        solver,
+        interrupted,
     }
 }
 

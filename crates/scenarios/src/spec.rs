@@ -74,7 +74,87 @@ fn values(n_values: usize) -> Vec<u32> {
     (0..n_values as u32).collect()
 }
 
+/// Commit–adopt cells draw fixed proposals from an 8-entry table (see
+/// [`crate::matrix`]), so at most 8 processes are supported there.
+const MAX_CA_PROCESSES: usize = 8;
+
 impl TaskSpec {
+    /// Validates the spec's parameters *without building anything*: every
+    /// combination rejected here would panic (or overflow a fixed-size
+    /// table) inside the underlying task constructor.
+    ///
+    /// # Errors
+    ///
+    /// A [`gact_tasks::SpecError`] naming the offending field:
+    ///
+    /// * `n` — more than [`gact_tasks::MAX_PROCESSES`] processes (or, for
+    ///   commit–adopt, more than the proposal table holds);
+    /// * `n_values` — an empty input value set on a pseudosphere spec;
+    /// * `k` — `k = 0` set agreement;
+    /// * `t` — `L_t` with `t > n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gact_scenarios::TaskSpec;
+    ///
+    /// assert!(TaskSpec::Lt { n: 2, t: 1 }.validate().is_ok());
+    /// let err = TaskSpec::Lt { n: 2, t: 5 }.validate().unwrap_err();
+    /// assert_eq!(err.field, "t");
+    /// ```
+    pub fn validate(&self) -> Result<(), gact_tasks::SpecError> {
+        use gact_tasks::SpecError;
+        match *self {
+            TaskSpec::Consensus { n, n_values } => {
+                check_spec_dimension(n)?;
+                if n_values == 0 {
+                    return Err(SpecError::new(
+                        "n_values",
+                        "consensus needs at least one input value",
+                    ));
+                }
+                Ok(())
+            }
+            TaskSpec::SetAgreement { n, n_values, k } => {
+                check_spec_dimension(n)?;
+                if n_values == 0 {
+                    return Err(SpecError::new(
+                        "n_values",
+                        "set agreement needs at least one input value",
+                    ));
+                }
+                if k == 0 {
+                    return Err(SpecError::new("k", "k-set agreement needs k >= 1"));
+                }
+                Ok(())
+            }
+            TaskSpec::FullSubdivision { n, .. } | TaskSpec::TotalOrder { n } => {
+                check_spec_dimension(n)
+            }
+            TaskSpec::Lt { n, t } => {
+                check_spec_dimension(n)?;
+                if t > n {
+                    return Err(SpecError::new(
+                        "t",
+                        format!("t = {t} must be at most n = {n}"),
+                    ));
+                }
+                Ok(())
+            }
+            TaskSpec::CommitAdopt { n } => {
+                if n + 1 > MAX_CA_PROCESSES {
+                    return Err(SpecError::new(
+                        "n",
+                        format!(
+                            "commit–adopt supports at most {MAX_CA_PROCESSES} processes, got {}",
+                            n + 1
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
     /// Number of processes `n + 1` of the instantiated task.
     pub fn process_count(&self) -> usize {
         self.n() + 1
@@ -143,6 +223,21 @@ impl TaskSpec {
             TaskSpec::CommitAdopt { .. } => None,
         }
     }
+}
+
+/// Dimension guard shared by the non-protocol specs.
+fn check_spec_dimension(n: usize) -> Result<(), gact_tasks::SpecError> {
+    if n + 1 > gact_tasks::MAX_PROCESSES {
+        return Err(gact_tasks::SpecError::new(
+            "n",
+            format!(
+                "n + 1 = {} processes exceeds the supported maximum of {}",
+                n + 1,
+                gact_tasks::MAX_PROCESSES
+            ),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

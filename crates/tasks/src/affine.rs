@@ -17,6 +17,7 @@ use gact_chromatic::{chr_iter, CarrierMap, ChromaticSubdivision};
 use gact_topology::{Complex, Simplex};
 
 use crate::task::Task;
+use crate::SpecError;
 
 /// An affine task: the task plus its defining data (the ambient iterated
 /// subdivision and the selected subcomplex `L`).
@@ -211,10 +212,34 @@ pub fn total_order_task_in(n: usize, ambient: Arc<ChromaticSubdivision>) -> Affi
 ///
 /// # Panics
 ///
-/// Panics if `t ≥ n + 1` (the excluded skeleton must exist).
+/// Panics on the parameter ranges [`try_lt_task`] rejects.
 pub fn lt_task(n: usize, t: usize) -> AffineTask {
+    try_lt_task(n, t).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked [`lt_task`]: rejects out-of-range parameters as a
+/// [`SpecError`] naming the offending field instead of panicking.
+///
+/// # Errors
+///
+/// * `t` — `t > n` (the excluded `(n−t−1)`-skeleton must exist);
+/// * `n` — more processes than the solver supports
+///   ([`crate::MAX_PROCESSES`]).
+pub fn try_lt_task(n: usize, t: usize) -> Result<AffineTask, SpecError> {
+    check_lt_params(n, t)?;
     let (s, g) = standard_simplex(n);
-    lt_task_in(n, t, Arc::new(chr_iter(&s, &g, 2)))
+    Ok(lt_task_unchecked(n, t, Arc::new(chr_iter(&s, &g, 2))))
+}
+
+fn check_lt_params(n: usize, t: usize) -> Result<(), SpecError> {
+    crate::check_dimension(n)?;
+    if t > n {
+        return Err(SpecError::new(
+            "t",
+            format!("t = {t} must be at most n = {n} (the excluded skeleton must exist)"),
+        ));
+    }
+    Ok(())
 }
 
 /// [`lt_task`] over a shared pre-built `Chr² s` (see [`affine_task_in`]
@@ -222,9 +247,26 @@ pub fn lt_task(n: usize, t: usize) -> AffineTask {
 ///
 /// # Panics
 ///
-/// Panics if `t ≥ n + 1` (the excluded skeleton must exist).
+/// Panics on the parameter ranges [`try_lt_task_in`] rejects.
 pub fn lt_task_in(n: usize, t: usize, ambient: Arc<ChromaticSubdivision>) -> AffineTask {
-    assert!(t < n + 1, "t must be at most n");
+    try_lt_task_in(n, t, ambient).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked [`lt_task_in`]; see [`try_lt_task`] for the rejected ranges.
+///
+/// # Errors
+///
+/// As [`try_lt_task`].
+pub fn try_lt_task_in(
+    n: usize,
+    t: usize,
+    ambient: Arc<ChromaticSubdivision>,
+) -> Result<AffineTask, SpecError> {
+    check_lt_params(n, t)?;
+    Ok(lt_task_unchecked(n, t, ambient))
+}
+
+fn lt_task_unchecked(n: usize, t: usize, ambient: Arc<ChromaticSubdivision>) -> AffineTask {
     let min_card = n - t + 1; // carriers must have dimension > n−t−1
     affine_task_in(n, 2, &format!("L_{t}(n={n})"), ambient, |facet, ambient| {
         facet

@@ -12,6 +12,7 @@ use gact_chromatic::{CarrierMap, ChromaticComplex, Color};
 use gact_topology::{Complex, Geometry, Simplex, VertexId};
 
 use crate::task::Task;
+use crate::SpecError;
 
 /// Vertex id encoding for pseudospheres: process `p` with value index `j`
 /// (into the task's value list) gets id `p * n_values + j`.
@@ -83,11 +84,53 @@ fn values_of(simplex: &Simplex, n_values: usize) -> Vec<usize> {
     vals
 }
 
+/// Checked [`set_agreement_task`]: rejects out-of-range parameters as a
+/// [`SpecError`] naming the offending field instead of panicking.
+///
+/// # Errors
+///
+/// * `k` — `k = 0` (no process could ever decide);
+/// * `values` — an empty value list (the pseudosphere would be empty);
+/// * `n` — more processes than the solver's simplex buffers support
+///   ([`crate::MAX_PROCESSES`]).
+pub fn try_set_agreement_task(n: usize, values: &[u32], k: usize) -> Result<Task, SpecError> {
+    if k < 1 {
+        return Err(SpecError::new("k", "k-set agreement needs k >= 1"));
+    }
+    if values.is_empty() {
+        return Err(SpecError::new(
+            "values",
+            "the input value list must be non-empty",
+        ));
+    }
+    crate::check_dimension(n)?;
+    Ok(set_agreement_unchecked(n, values, k))
+}
+
+/// Checked [`consensus_task`] (consensus = 1-set agreement); see
+/// [`try_set_agreement_task`] for the rejected parameter ranges.
+///
+/// # Errors
+///
+/// As [`try_set_agreement_task`] with `k = 1`.
+pub fn try_consensus_task(n: usize, values: &[u32]) -> Result<Task, SpecError> {
+    let mut t = try_set_agreement_task(n, values, 1)?;
+    t.name = format!("consensus(n={n}, |V|={})", values.len());
+    Ok(t)
+}
+
 /// `k`-set agreement over the given input values: every process outputs a
 /// value that was some participant's input, and at most `k` distinct
 /// values are output.
+///
+/// # Panics
+///
+/// Panics on the parameter ranges [`try_set_agreement_task`] rejects.
 pub fn set_agreement_task(n: usize, values: &[u32], k: usize) -> Task {
-    assert!(k >= 1, "k-set agreement needs k >= 1");
+    try_set_agreement_task(n, values, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn set_agreement_unchecked(n: usize, values: &[u32], k: usize) -> Task {
     let (input, input_geometry) = pseudosphere(n, values);
     let output = input.clone();
     let n_values = values.len();
@@ -144,10 +187,12 @@ pub fn set_agreement_task(n: usize, values: &[u32], k: usize) -> Task {
 }
 
 /// Consensus = 1-set agreement.
+///
+/// # Panics
+///
+/// Panics on the parameter ranges [`try_consensus_task`] rejects.
 pub fn consensus_task(n: usize, values: &[u32]) -> Task {
-    let mut t = set_agreement_task(n, values, 1);
-    t.name = format!("consensus(n={n}, |V|={})", values.len());
-    t
+    try_consensus_task(n, values).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Helper for tests and benches: the input facet in which process `p`

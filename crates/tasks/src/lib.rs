@@ -30,11 +30,70 @@ pub mod commit_adopt;
 pub mod compiled;
 pub mod task;
 
+use std::fmt;
+
 pub use affine::{
     affine_task, affine_task_in, full_subdivision_task, full_subdivision_task_in, lt_task,
-    lt_task_in, total_order_task, total_order_task_in, AffineTask,
+    lt_task_in, total_order_task, total_order_task_in, try_lt_task, try_lt_task_in, AffineTask,
 };
-pub use classic::{consensus_task, pseudosphere, set_agreement_task};
+pub use classic::{
+    consensus_task, pseudosphere, set_agreement_task, try_consensus_task, try_set_agreement_task,
+};
 pub use commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
 pub use compiled::{CarrierId, ClassDomains, ClassKey, CompiledImage, CompiledTask, RowTable};
 pub use task::{OutputViolation, Task, TaskError};
+
+/// Largest supported process count `n + 1` for constructed tasks.
+///
+/// The solver's fixed-size image buffers hold simplices of at most this
+/// many vertices (`MAX_CARD` in `gact-core`'s domain tables); task
+/// constructors reject larger dimensions up front so the bound surfaces
+/// as a [`SpecError`] instead of a panic deep inside a search.
+pub const MAX_PROCESSES: usize = 28;
+
+/// A rejected task-construction parameter: which field was out of range
+/// and why.
+///
+/// Returned by the checked constructors ([`try_set_agreement_task`],
+/// [`try_lt_task`], …); the panicking constructors wrap them and are kept
+/// for test/bench ergonomics where the parameters are static.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Name of the offending parameter (e.g. `"t"`, `"k"`, `"values"`).
+    pub field: &'static str,
+    /// Human-readable explanation of the constraint that failed.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Convenience constructor.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        SpecError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Shared dimension guard: `n + 1` processes must fit the solver's
+/// simplex buffers.
+pub(crate) fn check_dimension(n: usize) -> Result<(), SpecError> {
+    if n + 1 > MAX_PROCESSES {
+        return Err(SpecError::new(
+            "n",
+            format!(
+                "n + 1 = {} processes exceeds the supported maximum of {MAX_PROCESSES}",
+                n + 1
+            ),
+        ));
+    }
+    Ok(())
+}

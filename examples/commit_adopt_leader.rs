@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use gact_engine::{Engine, MatrixRequest};
 use gact_iis::{execute, InputAssignment, ProcessId, ProcessSet, Round, Run};
 use gact_tasks::commit_adopt::{check_commit_adopt, CaOutput, CommitAdopt, Grade};
 
@@ -104,4 +105,20 @@ fn main() {
     assert_eq!(exec.outputs[&ProcessId(0)].value.grade, Grade::Commit);
     println!("  leader committed; followers adopted — safety held, but the");
     println!("  followers' relative order stays forever unresolved (§4.5).");
+
+    // --- 4. The registered commit-adopt family through the engine -------
+    // The same property checks, as a typed batch request: conformance
+    // across every registered model family in one reply.
+    println!("\nThe `commit-adopt` scenario family through the engine:");
+    let engine = Engine::new();
+    let request = MatrixRequest::family("commit-adopt").expect("registered family");
+    let reply = engine.matrix(&request).expect("the engine serves it");
+    for r in &reply.report.results {
+        println!("  {:34} {}", r.cell.label(), r.outcome.detail());
+    }
+    assert_eq!(
+        reply.report.count_kind("protocol-verified"),
+        reply.report.results.len(),
+        "commit–adopt must verify cleanly under every model"
+    );
 }

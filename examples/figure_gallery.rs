@@ -12,15 +12,19 @@
 //!
 //! Run with: `cargo run -p gact --example figure_gallery`
 
-use gact::lt::{build_lt_showcase, radial_projection};
+use gact::lt::radial_projection;
 use gact::render::{band_fill, project, Scene};
 use gact_chromatic::{standard_simplex, TerminatingSubdivision};
-use gact_tasks::affine::{lt_task, total_order_task};
+use gact_engine::Engine;
+use gact_tasks::affine::total_order_task;
 use gact_topology::{Complex, Simplex};
 use std::fmt::Write as _;
 
 fn main() -> std::io::Result<()> {
     std::fs::create_dir_all("target/figures")?;
+    // One engine session serves every certificate-shaped object below
+    // from its memo (F3 and F4 share one witness build).
+    let engine = Engine::new();
 
     // --- F1: L_ord -------------------------------------------------------
     let lord = total_order_task(2);
@@ -58,7 +62,10 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- F3: L_1 -----------------------------------------------------------
-    let l1 = lt_task(2, 1);
+    let show = engine
+        .lt_showcase(2, 1, 2)
+        .expect("Proposition 9.2 witness");
+    let l1 = &show.affine;
     let mut scene = Scene::new(&l1.ambient.geometry, "F3  L_1 inside Chr^2(s) (par. 9.2)");
     scene.layer(l1.ambient.complex.complex(), "#f5f5f5", "#cccccc", 1.0);
     scene.layer(&l1.selected, "#a5d6a7", "#1b5e20", 0.9);
@@ -69,7 +76,6 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- F4: regions R_0, R_1, R_2 ----------------------------------------
-    let show = build_lt_showcase(2, 1, 2).expect("Proposition 9.2 witness");
     // Re-build stage by stage to capture each band separately.
     let mut sub =
         TerminatingSubdivision::new(&show.affine.task.input, &show.affine.task.input_geometry);

@@ -7,11 +7,13 @@
 //!
 //! Run with: `cargo run -p gact --example model_zoo`
 
+use gact_engine::{Engine, MatrixRequest};
 use gact_iis::{ProcessId, Round, Run};
 use gact_models::{
-    affine_projection, canonical_coloring_at_depth, Adversary, FastCompanion, ObstructionFree,
-    SubIisModel, TResilient, WaitFree,
+    affine_projection, canonical_coloring_at_depth, Adversary, FastCompanion, ModelSpec,
+    ObstructionFree, SubIisModel, TResilient, WaitFree,
 };
+use gact_scenarios::{Cell, TaskSpec};
 
 fn round(blocks: &[&[u8]]) -> Round {
     Round::from_blocks(
@@ -125,4 +127,29 @@ fn main() {
         of1_fast.contains(&ahead),
         of1_fast.contains(&ahead.minimal()),
     );
+
+    // The same model families as a decision service: one engine session,
+    // one task, every model of the zoo as a typed matrix cell.
+    println!("\nThe model axis through the engine (one task × every family):");
+    let engine = Engine::new();
+    let cells: Vec<Cell> = [
+        ModelSpec::WaitFree,
+        ModelSpec::TResilient { t: 1 },
+        ModelSpec::TResilient { t: 2 },
+        ModelSpec::ObstructionFree { k: 1 },
+        ModelSpec::GeometricTResilient { t: 1 },
+    ]
+    .into_iter()
+    .map(|model| Cell {
+        family: "model-zoo",
+        task: TaskSpec::FullSubdivision { n: 2, depth: 1 },
+        model,
+        max_depth: 1,
+    })
+    .collect();
+    let request = MatrixRequest::from_cells("model-zoo", cells).expect("validated cells");
+    let reply = engine.matrix(&request).expect("the engine serves it");
+    for r in &reply.report.results {
+        println!("  {:44} {}", r.cell.label(), r.outcome.detail());
+    }
 }

@@ -1,72 +1,80 @@
-//! Quickstart: the GACT toolchain in one file.
+//! Quickstart: the GACT toolchain in one file, through the [`Engine`]
+//! facade (the documented entry point — see `docs/engine.md`).
 //!
-//! 1. Build the standard chromatic machinery (`Chr^k s`).
-//! 2. Ask the ACT decision procedure about three tasks: a solvable one,
-//!    consensus (impossible, with a topological certificate), and the
-//!    total order task of §4.2 (impossible).
-//! 3. Extract a protocol from the solvable task's certificate and *run* it
-//!    over IIS schedules, verifying the outputs operationally.
+//! 1. Open one `Engine` session: it owns every cache (subdivisions,
+//!    solver tables, propagation plans, certificate memo).
+//! 2. Ask it about three tasks: a solvable one, consensus (impossible,
+//!    with a topological certificate), and the total order task of §4.2
+//!    (impossible).
+//! 3. Extract a protocol from the solvable reply's map and *run* it over
+//!    IIS schedules, verifying the outputs operationally.
+//! 4. Read the session's consolidated stats snapshot.
 //!
-//! Run with: `cargo run -p gact --example quickstart`
+//! Run with: `cargo run -p gact-repro --example quickstart`
 
-use gact::{act_solve, certificate_from_act_map, verify_protocol_on_runs, ActVerdict};
-use gact_chromatic::{chr, standard_simplex};
+use gact::{certificate_from_act_map, verify_protocol_on_runs};
+use gact_engine::{Engine, SolveRequest, SolveVerdict};
 use gact_models::{enumerate_runs, SubIisModel, WaitFree};
-use gact_tasks::affine::{full_subdivision_task, total_order_task};
-use gact_tasks::classic::consensus_task;
+use gact_scenarios::TaskSpec;
 
 fn main() {
-    // --- 1. Chromatic subdivisions -------------------------------------
-    let (s, g) = standard_simplex(2);
-    let sd = chr(&s, &g);
-    println!("Chr(s) for 3 processes:");
-    println!(
-        "  vertices = {}, triangles = {} (ordered Bell number of 3 = 13)",
-        sd.complex.complex().count_of_dim(0),
-        sd.complex.complex().count_of_dim(2),
-    );
+    // --- 1. One session object -------------------------------------------
+    let engine = Engine::new();
 
-    // --- 2. ACT verdicts ------------------------------------------------
-    println!("\nACT (Corollary 7.1) verdicts:");
+    // --- 2. Typed solvability requests -----------------------------------
+    println!("ACT (Corollary 7.1) verdicts through the engine:");
 
-    let snapshot_task = full_subdivision_task(2, 1);
-    match act_solve(&snapshot_task.task, 2) {
-        ActVerdict::Solvable { depth, stats, .. } => println!(
+    let snapshot = SolveRequest::new(TaskSpec::FullSubdivision { n: 2, depth: 1 }, 2)
+        .expect("a valid request");
+    let snapshot_reply = engine.solve(&snapshot).expect("the engine serves it");
+    match &snapshot_reply.outcome {
+        SolveVerdict::Solvable { depth, .. } => println!(
             "  {:30} solvable at depth {depth} ({} assignments)",
-            snapshot_task.task.name, stats.assignments
+            "Chr^1(s), n=2", snapshot_reply.stats.assignments
         ),
-        v => println!("  unexpected verdict: {v:?}"),
+        v => println!("  unexpected outcome: {v:?}"),
     }
 
-    let consensus = consensus_task(2, &[0, 1]);
-    match act_solve(&consensus, 3) {
-        ActVerdict::ImpossibleByObstruction(o) => {
-            println!("  {:30} impossible at EVERY depth: {o}", consensus.name)
-        }
-        v => println!("  unexpected verdict: {v:?}"),
+    let consensus =
+        SolveRequest::new(TaskSpec::Consensus { n: 2, n_values: 2 }, 3).expect("a valid request");
+    match engine.solve(&consensus).expect("served").outcome {
+        SolveVerdict::Unsolvable { obstruction } => println!(
+            "  {:30} impossible at EVERY depth: {obstruction}",
+            "consensus(n=2, |V|=2)"
+        ),
+        v => println!("  unexpected outcome: {v:?}"),
     }
 
-    let lord = total_order_task(2);
-    match act_solve(&lord.task, 2) {
-        ActVerdict::ImpossibleByObstruction(o) => {
-            println!("  {:30} impossible at EVERY depth: {o}", lord.task.name)
-        }
-        v => println!("  unexpected verdict: {v:?}"),
+    let lord = SolveRequest::new(TaskSpec::TotalOrder { n: 2 }, 2).expect("a valid request");
+    match engine.solve(&lord).expect("served").outcome {
+        SolveVerdict::Unsolvable { obstruction } => println!(
+            "  {:30} impossible at EVERY depth: {obstruction}",
+            "L_ord(n=2)"
+        ),
+        v => println!("  unexpected outcome: {v:?}"),
     }
+
+    // Invalid requests never reach the pipeline — they fail at
+    // construction with the offending field named:
+    let err = SolveRequest::new(TaskSpec::Lt { n: 2, t: 9 }, 1).unwrap_err();
+    println!("\nValidation at construction: {err}");
 
     // --- 3. Certificate -> protocol -> operational verification ---------
-    println!("\nTheorem 6.1 ⇐: extract a protocol and run it.");
-    let ActVerdict::Solvable {
+    println!("\nTheorem 6.1 ⇐: extract a protocol from the reply and run it.");
+    let SolveVerdict::Solvable {
         depth,
         map,
         subdivision,
-        ..
-    } = act_solve(&snapshot_task.task, 2)
+    } = snapshot_reply.outcome
     else {
         unreachable!("shown solvable above");
     };
-    let cert = certificate_from_act_map(&snapshot_task.task, depth, &subdivision, &map);
-    cert.check_carrier_condition(&snapshot_task.task)
+    // The task object itself, for the certificate machinery.
+    let task = TaskSpec::FullSubdivision { n: 2, depth: 1 }
+        .build_task(&gact::cache::QueryCache::new())
+        .expect("non-protocol spec");
+    let cert = certificate_from_act_map(&task, depth, &subdivision, &map);
+    cert.check_carrier_condition(&task)
         .expect("condition (b) of Theorem 6.1");
 
     let wf = WaitFree { n_procs: 3 };
@@ -74,7 +82,7 @@ fn main() {
         .into_iter()
         .filter(|r| wf.contains(r))
         .collect();
-    let reports = verify_protocol_on_runs(&cert, &snapshot_task.task, &runs, 8);
+    let reports = verify_protocol_on_runs(&cert, &task, &runs, 8);
     let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
     println!(
         "  executed over {} wait-free runs: {} clean, {} with violations",
@@ -82,13 +90,22 @@ fn main() {
         clean,
         reports.len() - clean
     );
-    for r in reports.iter().filter(|r| !r.violations.is_empty()).take(3) {
-        println!("  VIOLATION on {:?}: {:?}", r.run, r.violations);
-    }
     assert_eq!(
         clean,
         reports.len(),
         "the extracted protocol must be correct"
     );
     println!("  all runs conform to Δ — the certificate is operational.");
+
+    // --- 4. One snapshot covers the whole session ------------------------
+    let stats = engine.stats();
+    println!(
+        "\nengine stats: {} queries ({} solves), solver assignments {}, \
+         subdivision cache {}/{} hits",
+        stats.queries(),
+        stats.solves,
+        stats.solver.assignments,
+        stats.subdivision_cache.hits,
+        stats.subdivision_cache.hits + stats.subdivision_cache.misses,
+    );
 }

@@ -1,21 +1,30 @@
-//! Proposition 9.2 end to end: the affine task `L_1` (no output vertex on
-//! a corner of `s`) is solvable 1-resiliently by three processes —
-//! reproducing the paper's §9.2 showcase, which previously required the
-//! "very involved" Red-Yellow-Green simulation of [Gafni 1998].
+//! Proposition 9.2 end to end, through the [`Engine`] facade: the affine
+//! task `L_1` (no output vertex on a corner of `s`) is solvable
+//! 1-resiliently by three processes — reproducing the paper's §9.2
+//! showcase, which previously required the "very involved"
+//! Red-Yellow-Green simulation of [Gafni 1998].
 //!
 //! Pipeline: region decomposition → terminating subdivision → radial
 //! projection → solver-found chromatic approximation `δ` → extracted
-//! protocol → operational verification over 1-resilient runs.
+//! protocol → operational verification over 1-resilient runs — the build
+//! served from the engine's certificate memo, the verification as typed
+//! [`VerifyRequest`]s.
 //!
-//! Run with: `cargo run -p gact --example t_resilient_lt`
+//! Run with: `cargo run -p gact-repro --example t_resilient_lt`
 
-use gact::{build_lt_showcase, verify_protocol_on_runs};
+use gact_engine::{Engine, VerifyRequest};
 use gact_iis::{ProcessId, ProcessSet, Run};
-use gact_models::{enumerate_runs, RunSampler, SamplerConfig, SubIisModel, TResilient};
+use gact_models::{ModelSpec, RunSampler, SamplerConfig};
 
 fn main() {
+    let engine = Engine::new();
+
     println!("Building the Proposition 9.2 witness for L_1 (n = 2, t = 1)...");
-    let show = build_lt_showcase(2, 1, 3).expect("Proposition 9.2 witness");
+    // The witness itself, from the engine's certificate memo (built once;
+    // every verify request below reuses it).
+    let show = engine
+        .lt_showcase(2, 1, 3)
+        .expect("Proposition 9.2 witness");
     println!(
         "  L_1 has {} output triangles inside Chr² s",
         show.affine.selected.count_of_dim(2)
@@ -33,22 +42,23 @@ fn main() {
         .expect("condition (b) of Theorem 6.1");
     println!("  carrier condition δ(τ) ∈ Δ(carrier τ): OK");
 
-    // Enumerated short 1-resilient runs.
-    let res1 = TResilient { n_procs: 3, t: 1 };
-    let enumerated: Vec<Run> = enumerate_runs(3, 0)
-        .into_iter()
-        .filter(|r| res1.contains(r))
-        .collect();
+    // Enumerated short 1-resilient runs, as one typed request.
+    let request =
+        VerifyRequest::new(2, 1, ModelSpec::TResilient { t: 1 }).expect("a valid request");
+    let reply = engine.verify(&request).expect("the engine serves it");
     println!(
         "\nVerifying on {} enumerated 1-resilient runs...",
-        enumerated.len()
+        reply.runs
     );
-    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &enumerated, 14);
-    let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
-    println!("  {clean}/{} clean", reports.len());
-    assert_eq!(clean, reports.len());
+    println!(
+        "  {}/{} clean",
+        reply.runs - reply.violations.min(reply.runs),
+        reply.runs
+    );
+    assert_eq!(reply.violations, 0);
 
-    // Randomly sampled runs with prescribed fast sets.
+    // Randomly sampled runs with prescribed fast sets, via the same
+    // request type carrying its own run list.
     let mut sampler = RunSampler::new(
         3,
         99,
@@ -72,22 +82,36 @@ fn main() {
         sampled.push(sampler.sample_with_fast(ProcessSet::full(3), ProcessSet::empty()));
     }
     println!("Verifying on {} sampled 1-resilient runs...", sampled.len());
-    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &sampled, 20);
-    let clean = reports.iter().filter(|r| r.violations.is_empty()).count();
-    println!("  {clean}/{} clean", reports.len());
-    for r in reports.iter().filter(|r| !r.violations.is_empty()).take(3) {
-        println!("  VIOLATION on {:?}: {:?}", r.run, r.violations);
-    }
-    assert_eq!(clean, reports.len());
+    let request = VerifyRequest::new(2, 1, ModelSpec::TResilient { t: 1 })
+        .expect("a valid request")
+        .with_runs(sampled)
+        .expect("non-empty runs")
+        .with_rounds(20)
+        .expect("a positive round bound");
+    let reply = engine.verify(&request).expect("served");
+    println!("  {} runs, {} violations", reply.runs, reply.violations);
+    assert_eq!(reply.violations, 0);
 
     // The contrast: a wait-free (non-1-resilient) solo run cannot decide —
-    // Δ(corner) is empty, and indeed the protocol correctly stays silent.
+    // Δ(corner) is empty, and indeed the protocol correctly stays silent
+    // (a liveness miss, reported honestly as a violation count).
     let solo = Run::new(3, [], [gact_iis::Round::solo(ProcessId(2))]).unwrap();
-    let reports = verify_protocol_on_runs(&show.certificate, &show.affine.task, &[solo], 12);
+    let request = VerifyRequest::new(2, 1, ModelSpec::TResilient { t: 1 })
+        .expect("a valid request")
+        .with_runs(vec![solo])
+        .expect("non-empty runs")
+        .with_rounds(12)
+        .expect("a positive round bound");
+    let reply = engine.verify(&request).expect("served");
     println!(
-        "\nControl (solo run, outside Res_1): decisions = {}, liveness misses = {}",
-        reports[0].outputs.len(),
-        reports[0].violations.len()
+        "\nControl (solo run, outside Res_1): liveness misses = {}",
+        reply.violations
+    );
+
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} verify queries served from one memoized certificate",
+        stats.verifies
     );
     println!("\nL_1 is 1-resiliently solvable — Proposition 9.2 reproduced.");
 }
